@@ -1,0 +1,62 @@
+"""E8: ablation benches for the design choices DESIGN.md calls out."""
+
+from repro.experiments.registry import run_experiment
+
+
+def test_ablation_buffer(benchmark, bench_profile, record_result):
+    result = benchmark.pedantic(
+        lambda: run_experiment("ablation-buffer", bench_profile),
+        rounds=1,
+        iterations=1,
+    )
+    record_result(result)
+    # Isolated multicasts see little buffer sensitivity (no contention to
+    # absorb); the sweep documents that non-result explicitly.
+    for scheme in ("tree", "path"):
+        small = result.curve(f"buf=8/{scheme}").y
+        big = result.curve(f"buf=256/{scheme}").y
+        assert all(abs(a - b) / b < 0.25 for a, b in zip(small, big))
+
+
+def test_ablation_fpfs(benchmark, bench_profile, record_result):
+    result = benchmark.pedantic(
+        lambda: run_experiment("ablation-fpfs", bench_profile),
+        rounds=1,
+        iterations=1,
+    )
+    record_result(result)
+    fpfs = result.curve("fpfs/ni").y
+    saf = result.curve("store&fwd/ni").y
+    assert all(f < s for f, s in zip(fpfs, saf))
+
+
+def test_ablation_routing(benchmark, bench_profile, record_result):
+    result = benchmark.pedantic(
+        lambda: run_experiment("ablation-routing", bench_profile),
+        rounds=1,
+        iterations=1,
+    )
+    record_result(result)
+    assert result.series
+
+
+def test_ablation_path_strategy(benchmark, bench_profile, record_result):
+    result = benchmark.pedantic(
+        lambda: run_experiment("ablation-pathstrategy", bench_profile),
+        rounds=1,
+        iterations=1,
+    )
+    record_result(result)
+    assert result.series
+
+
+def test_ablation_fixed_k(benchmark, bench_profile, record_result):
+    result = benchmark.pedantic(
+        lambda: run_experiment("ablation-fixedk", bench_profile),
+        rounds=1,
+        iterations=1,
+    )
+    record_result(result)
+    auto = result.curve("ni/auto").y
+    chain = result.curve("ni/k=1").y
+    assert all(a < c for a, c in zip(auto, chain))

@@ -1,0 +1,57 @@
+"""Backend speed comparison: worm-level event model vs flit-level reference.
+
+The event backend exists because cycle-accurate simulation is orders of
+magnitude slower; this benchmark records the actual ratio on an identical
+scenario (and asserts both produce the same answer while at it).
+"""
+
+from repro.params import SimParams
+from repro.routing.updown import UpDownRouting
+from repro.sim.flitsim import FlitLevelFabric, unicast_route
+from repro.sim.network import SimNetwork
+from repro.sim.worm import Worm
+from repro.topology.irregular import generate_irregular_topology
+
+PARAMS = SimParams(adaptive_routing=False)
+TOPO = generate_irregular_topology(PARAMS, seed=3)
+JOBS = [(i * 40, i % 8, 24 + (i % 8)) for i in range(8)]
+
+
+def run_event() -> list[float]:
+    net = SimNetwork(TOPO, PARAMS)
+    out: list[float] = []
+    for t, src, dst in JOBS:
+        def launch(s=src, d=dst):
+            w = Worm(net.engine, net.params, net.unicast_steer(d),
+                     on_delivered=lambda _n, tt: out.append(tt), rng=net.rng)
+            w.start(net.fabric.inject[s], None)
+
+        if t == 0:
+            launch()
+        else:
+            net.engine.at(t, launch)
+    net.run()
+    return sorted(out)
+
+
+def run_flit() -> list[float]:
+    rt = UpDownRouting.build(TOPO)
+    fab = FlitLevelFabric(TOPO, PARAMS)
+    for t, src, dst in JOBS:
+        fab.inject(t, unicast_route(TOPO, rt, src, dst))
+    fab.run()
+    return sorted(float(v) for v in fab.deliveries.values())
+
+
+def test_event_backend_speed(benchmark):
+    res = benchmark(run_event)
+    assert len(res) == len(JOBS)
+
+
+def test_flit_backend_speed(benchmark):
+    res = benchmark.pedantic(run_flit, rounds=2, iterations=1)
+    assert len(res) == len(JOBS)
+
+
+def test_backends_agree_on_benchmark_scenario():
+    assert run_event() == run_flit()

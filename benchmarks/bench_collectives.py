@@ -1,0 +1,42 @@
+"""Benchmarks for the collective operations built on multicast."""
+
+from repro.mpi import Communicator
+from repro.params import SimParams
+from repro.sim.network import SimNetwork
+from repro.topology.irregular import generate_irregular_topology
+
+
+def make_comm(scheme="tree"):
+    params = SimParams()
+    topo = generate_irregular_topology(params, seed=3)
+    return Communicator(SimNetwork(topo, params), multicast_scheme=scheme)
+
+
+def test_bcast_tree(benchmark):
+    lat = benchmark(lambda: make_comm("tree").time("bcast"))
+    assert lat > 0
+
+
+def test_bcast_binomial(benchmark):
+    lat = benchmark(lambda: make_comm("binomial").time("bcast"))
+    assert lat > 0
+
+
+def test_barrier(benchmark):
+    lat = benchmark(lambda: make_comm().time("barrier"))
+    assert lat > 0
+
+
+def test_allreduce(benchmark):
+    lat = benchmark(lambda: make_comm().time("allreduce"))
+    assert lat > 0
+
+
+def test_collective_cost_ordering():
+    """Not a timing benchmark: records the simulated cost ordering."""
+    comm_costs = {
+        op: make_comm().time(op)
+        for op in ("bcast", "reduce", "allreduce", "barrier")
+    }
+    assert comm_costs["allreduce"] > comm_costs["reduce"]
+    assert comm_costs["allreduce"] > comm_costs["bcast"]

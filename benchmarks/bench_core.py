@@ -1,0 +1,88 @@
+"""Micro-benchmarks of the simulator core (engine, fabric, schemes).
+
+These are true pytest-benchmark timings (multiple rounds) of the hot paths,
+useful for tracking simulator performance over time -- the experiment
+benches above time whole figures instead.
+"""
+
+import random
+
+from repro.multicast import make_scheme
+from repro.params import SimParams
+from repro.sim.engine import Engine
+from repro.sim.network import SimNetwork
+from repro.topology.irregular import generate_irregular_topology
+from repro.traffic.load import run_load_experiment
+
+
+def test_engine_event_throughput(benchmark):
+    def churn():
+        eng = Engine()
+        count = 0
+
+        def tick():
+            nonlocal count
+            count += 1
+            if count < 10_000:
+                eng.after(1, tick)
+
+        eng.after(0, tick)
+        eng.run()
+        return count
+
+    assert benchmark(churn) == 10_000
+
+
+def test_network_construction(benchmark):
+    params = SimParams()
+    topo = generate_irregular_topology(params, seed=3)
+    net = benchmark(lambda: SimNetwork(topo, params))
+    assert net.topo.num_nodes == 32
+
+
+def _run_one(scheme_name):
+    params = SimParams()
+    topo = generate_irregular_topology(params, seed=3)
+    dests = random.Random(0).sample(range(1, 32), 15)
+
+    def once():
+        net = SimNetwork(topo, params)
+        res = make_scheme(scheme_name).execute(net, 0, dests)
+        net.run()
+        return res
+
+    return once
+
+
+def test_single_multicast_tree(benchmark):
+    res = benchmark(_run_one("tree"))
+    assert res.complete
+
+
+def test_single_multicast_ni(benchmark):
+    res = benchmark(_run_one("ni"))
+    assert res.complete
+
+
+def test_single_multicast_path(benchmark):
+    res = benchmark(_run_one("path"))
+    assert res.complete
+
+
+def test_single_multicast_binomial(benchmark):
+    res = benchmark(_run_one("binomial"))
+    assert res.complete
+
+
+def test_load_point_tree(benchmark):
+    params = SimParams()
+    topo = generate_irregular_topology(params, seed=3)
+    point = benchmark.pedantic(
+        lambda: run_load_experiment(
+            topo, params, "tree", degree=4, effective_load=0.05,
+            duration=40_000, warmup=4_000,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert point.completed > 0

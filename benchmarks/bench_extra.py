@@ -1,0 +1,41 @@
+"""E7: the experiments the paper mentions but omits for space (Section 4.2.3):
+host overhead magnitude, system size, and packet length."""
+
+from repro.experiments.registry import run_experiment
+
+
+def test_extra_host_overhead(benchmark, bench_profile, record_result):
+    result = benchmark.pedantic(
+        lambda: run_experiment("extra-hostoverhead", bench_profile),
+        rounds=1,
+        iterations=1,
+    )
+    record_result(result)
+    # Latency scales with o_host for every scheme (software-dominated).
+    for scheme in ("ni", "path", "tree"):
+        lo = result.curve(f"o_h=250/{scheme}").y
+        hi = result.curve(f"o_h=4000/{scheme}").y
+        assert all(h > l for h, l in zip(hi, lo))
+
+
+def test_extra_system_size(benchmark, bench_profile, record_result):
+    result = benchmark.pedantic(
+        lambda: run_experiment("extra-systemsize", bench_profile),
+        rounds=1,
+        iterations=1,
+    )
+    record_result(result)
+    # Tree-based stays flat as the system grows (single phase regardless).
+    small = result.curve("16n/4sw/tree").y[0]
+    large = result.curve("64n/16sw/tree").y[0]
+    assert large < small * 1.5
+
+
+def test_extra_packet_length(benchmark, bench_profile, record_result):
+    result = benchmark.pedantic(
+        lambda: run_experiment("extra-packetlen", bench_profile),
+        rounds=1,
+        iterations=1,
+    )
+    record_result(result)
+    assert result.series

@@ -1,0 +1,28 @@
+"""E1: regenerate Figure 6 (single-multicast latency vs R = o_host/o_ni).
+
+Asserts the figure's headline shape: the tree-based scheme is best at every
+R, and the NI-based scheme's latency falls monotonically as R rises while
+the path-based scheme's is R-insensitive by comparison.
+"""
+
+from repro.experiments.registry import run_experiment
+
+
+def test_fig06(benchmark, bench_profile, record_result):
+    result = benchmark.pedantic(
+        lambda: run_experiment("fig06", bench_profile), rounds=1, iterations=1
+    )
+    record_result(result)
+    for r in ("R=0.5", "R=1", "R=2", "R=4"):
+        tree = result.curve(f"{r}/tree").y
+        ni = result.curve(f"{r}/ni").y
+        path = result.curve(f"{r}/path").y
+        assert all(t < n for t, n in zip(tree, ni))
+        assert all(t < p for t, p in zip(tree, path))
+    ni_low = result.curve("R=0.5/ni").y
+    ni_high = result.curve("R=4/ni").y
+    assert all(h < l for h, l in zip(ni_high, ni_low))
+    # Low R favours path over NI; high R closes (or reverses) the gap.
+    gap_low = result.curve("R=0.5/ni").y[-1] / result.curve("R=0.5/path").y[-1]
+    gap_high = result.curve("R=4/ni").y[-1] / result.curve("R=4/path").y[-1]
+    assert gap_high < gap_low

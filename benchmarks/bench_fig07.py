@@ -1,0 +1,24 @@
+"""E2: regenerate Figure 7 (single-multicast latency vs number of switches).
+
+Asserts: path-based multicast degrades as switches increase (fewer
+destinations per switch => more worms, more phases) while NI- and tree-based
+schemes stay nearly flat.
+"""
+
+from repro.experiments.registry import run_experiment
+
+
+def test_fig07(benchmark, bench_profile, record_result):
+    result = benchmark.pedantic(
+        lambda: run_experiment("fig07", bench_profile), rounds=1, iterations=1
+    )
+    record_result(result)
+    path_8 = result.curve("8sw/path").y
+    path_32 = result.curve("32sw/path").y
+    assert path_32[-1] > path_8[-1]
+    tree_8 = result.curve("8sw/tree").y
+    tree_32 = result.curve("32sw/tree").y
+    assert tree_32[-1] < tree_8[-1] * 1.5  # near-flat
+    ni_8 = result.curve("8sw/ni").y
+    ni_32 = result.curve("32sw/ni").y
+    assert ni_32[-1] < ni_8[-1] * 1.5  # near-flat

@@ -1,0 +1,27 @@
+"""E3: regenerate Figure 8 (single-multicast latency vs message length).
+
+Asserts: the NI-based scheme's disadvantage against the path-based scheme
+shrinks as messages span more packets (FPFS pipelining vs whole-message
+store-and-forward per path phase), with tree-based best at every length.
+"""
+
+from repro.experiments.registry import run_experiment
+
+
+def test_fig08(benchmark, bench_profile, record_result):
+    result = benchmark.pedantic(
+        lambda: run_experiment("fig08", bench_profile), rounds=1, iterations=1
+    )
+    record_result(result)
+    for v in ("128f", "256f", "512f", "1024f"):
+        tree = result.curve(f"{v}/tree").y
+        for scheme in ("ni", "path"):
+            other = result.curve(f"{v}/{scheme}").y
+            assert all(t < o for t, o in zip(tree, other))
+    ratio_short = (
+        result.curve("128f/ni").y[-1] / result.curve("128f/path").y[-1]
+    )
+    ratio_long = (
+        result.curve("512f/ni").y[-1] / result.curve("512f/path").y[-1]
+    )
+    assert ratio_long < ratio_short

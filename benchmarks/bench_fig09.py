@@ -1,0 +1,29 @@
+"""E4: regenerate Figure 9 (latency vs applied load, varying R).
+
+Asserts: at light load the tree-based scheme has the lowest latency for
+every R and degree; at high R the NI scheme closes on the path-based scheme
+under load.
+"""
+
+from repro.experiments.registry import run_experiment
+
+
+def test_fig09(benchmark, bench_profile, record_result):
+    result = benchmark.pedantic(
+        lambda: run_experiment("fig09", bench_profile), rounds=1, iterations=1
+    )
+    record_result(result)
+    for r in ("R=0.5", "R=2", "R=4"):
+        for d in (4, 16):
+            tree = result.curve(f"{r}/{d}-way/tree").y[0]
+            path = result.curve(f"{r}/{d}-way/path").y[0]
+            ni = result.curve(f"{r}/{d}-way/ni").y[0]
+            assert tree is not None
+            if path is not None:
+                assert tree <= path * 1.05
+            if ni is not None:
+                assert tree <= ni * 1.05
+    # Low R: NI clearly worse than path at light load; high R: gap shrinks.
+    lo = result.curve("R=0.5/4-way/ni").y[0] / result.curve("R=0.5/4-way/path").y[0]
+    hi = result.curve("R=4/4-way/ni").y[0] / result.curve("R=4/4-way/path").y[0]
+    assert hi < lo

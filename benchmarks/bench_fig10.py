@@ -1,0 +1,20 @@
+"""E5: regenerate Figure 10 (latency vs applied load, varying switch count).
+
+Asserts: the path-based scheme's loaded latency degrades as switches
+increase, approaching the NI-based scheme; tree-based stays uniformly good.
+"""
+
+from repro.experiments.registry import run_experiment
+
+
+def test_fig10(benchmark, bench_profile, record_result):
+    result = benchmark.pedantic(
+        lambda: run_experiment("fig10", bench_profile), rounds=1, iterations=1
+    )
+    record_result(result)
+    p8 = result.curve("8sw/16-way/path").y[0]
+    p32 = result.curve("32sw/16-way/path").y[0]
+    assert p8 is not None and p32 is not None and p32 > p8
+    t8 = result.curve("8sw/16-way/tree").y[0]
+    t32 = result.curve("32sw/16-way/tree").y[0]
+    assert t32 < t8 * 1.5  # tree near-uniform across switch counts

@@ -1,0 +1,28 @@
+"""E6: regenerate Figure 11 (latency vs applied load, varying message length).
+
+Asserts: tree-based is best at both message lengths; for long messages under
+load at high degree the NI scheme's extra traffic keeps it at or behind the
+path-based scheme (the paper's Section 4.3.3 observation).
+"""
+
+from repro.experiments.registry import run_experiment
+
+
+def test_fig11(benchmark, bench_profile, record_result):
+    result = benchmark.pedantic(
+        lambda: run_experiment("fig11", bench_profile), rounds=1, iterations=1
+    )
+    record_result(result)
+    for v in ("128f", "512f"):
+        for d in (4, 16):
+            tree = result.curve(f"{v}/{d}-way/tree").y[0]
+            path = result.curve(f"{v}/{d}-way/path").y[0]
+            ni = result.curve(f"{v}/{d}-way/ni").y[0]
+            assert tree is not None
+            if path is not None:
+                assert tree <= path * 1.05
+            if ni is not None:
+                assert tree <= ni * 1.05
+    ni = result.curve("512f/16-way/ni").y[0]
+    path = result.curve("512f/16-way/path").y[0]
+    assert ni is not None and path is not None and ni >= path * 0.95

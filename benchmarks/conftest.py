@@ -1,0 +1,46 @@
+"""Shared fixtures for the benchmark suite.
+
+Every experiment benchmark runs its figure once (``benchmark.pedantic``,
+one round) at a reduced-but-representative scale, records the wall time via
+pytest-benchmark, and writes the regenerated figure data to
+``benchmarks/results/<exp_id>.txt`` so a run leaves the paper-shaped tables
+behind for inspection.
+"""
+
+import pathlib
+
+import pytest
+
+from repro.experiments.base import ExperimentResult
+from repro.experiments.config import Profile
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+BENCH_PROFILE = Profile(
+    name="bench",
+    n_topologies=2,
+    trials_per_topology=2,
+    group_sizes=(4, 8, 16, 28),
+    loads=(0.01, 0.04, 0.08, 0.12),
+    load_duration=40_000,
+    load_warmup=4_000,
+    load_degrees=(4, 16),
+)
+
+
+@pytest.fixture
+def bench_profile() -> Profile:
+    return BENCH_PROFILE
+
+
+@pytest.fixture
+def record_result():
+    """Write an experiment's regenerated table next to the benchmarks."""
+
+    def _record(result: ExperimentResult) -> ExperimentResult:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / f"{result.exp_id}.txt"
+        path.write_text(result.to_table() + "\n")
+        return result
+
+    return _record

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Fault tolerance study: multicast after link failures + reconfiguration.
+
+The paper motivates irregular topologies by resilience: "resistant to
+faults" with "network reconfigurations".  This example fails random links
+one by one (keeping the network connected), reconfigures routing Autonet-
+style (recomputed BFS tree / up-down orientation / reachability strings),
+and shows how each multicast scheme's latency and plan degrade.
+
+Run:  python examples/fault_tolerance.py [seed]
+"""
+
+import random
+import sys
+
+from repro.multicast import make_scheme
+from repro.multicast.pathworm import plan_path_worms
+from repro.params import SimParams
+from repro.sim.network import SimNetwork
+from repro.topology.analysis import analyze
+from repro.topology.faults import degrade, removable_links
+from repro.topology.irregular import generate_irregular_topology
+
+SCHEMES = ("ni", "path", "tree")
+
+
+def main() -> None:
+    seed = int(sys.argv[1]) if len(sys.argv) > 1 else 3
+    params = SimParams()
+    topo = generate_irregular_topology(params, seed=seed)
+    rng = random.Random(seed)
+    dests = rng.sample(range(1, params.num_nodes), 16)
+
+    print(f"healthy network: {len(topo.links)} links, "
+          f"{len(removable_links(topo))} individually removable\n")
+    print(f"{'failures':>9} {'diameter':>9} {'worms':>6}"
+          + "".join(f"{s:>9}" for s in SCHEMES))
+
+    for k in (0, 1, 2, 3, 4):
+        try:
+            degraded, failed = degrade(topo, k, random.Random(seed + k))
+        except ValueError:
+            print(f"{k:>9}  (network cannot absorb {k} failures)")
+            break
+        stats = analyze(degraded)
+        plan_net = SimNetwork(degraded, params)
+        n_worms = len(plan_path_worms(plan_net, 0, dests).worms)
+        cells = []
+        for scheme in SCHEMES:
+            net = SimNetwork(degraded, params)
+            res = make_scheme(scheme).execute(net, 0, dests)
+            net.run()
+            cells.append(f"{res.latency:>9.0f}")
+        print(f"{k:>9} {stats.diameter:>9} {n_worms:>6}" + "".join(cells))
+
+    print("\nEvery scheme keeps working after reconfiguration; latencies "
+          "degrade gracefully as the route diversity shrinks.")
+
+
+if __name__ == "__main__":
+    main()

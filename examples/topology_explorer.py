@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Topology explorer: inspect routing structures and multicast plans.
+
+Generates a random irregular topology and prints everything the schemes are
+built from: the BFS spanning tree and up/down link orientation, per-port
+reachability strings, a sample up*/down* route, and the static plans of all
+three enhanced multicast schemes for a sample destination set.
+
+Run:  python examples/topology_explorer.py [seed]
+"""
+
+import random
+import sys
+
+from repro.multicast.kbinomial import NIKBinomialScheme
+from repro.multicast.pathworm import plan_path_worms
+from repro.multicast.treeworm import plan_tree_worm
+from repro.params import SimParams
+from repro.routing.paths import path_switches, shortest_path_links
+from repro.sim.network import SimNetwork
+from repro.topology.irregular import generate_irregular_topology
+
+
+def main() -> None:
+    seed = int(sys.argv[1]) if len(sys.argv) > 1 else 3
+    params = SimParams()
+    topo = generate_irregular_topology(params, seed=seed)
+    net = SimNetwork(topo, params)
+    rt, reach = net.routing, net.reach
+
+    print(f"== irregular topology (seed {seed}) ==")
+    for s in range(topo.num_switches):
+        hosts = topo.nodes_on_switch(s)
+        nbrs = topo.neighbors(s)
+        print(f"  switch {s}: level {rt.tree.level[s]}, hosts {hosts}, "
+              f"links to {nbrs}, {topo.free_ports(s)} free ports")
+
+    print("\n== BFS spanning tree / up-down orientation ==")
+    print(f"  root: switch {rt.tree.root} (depth {rt.tree.depth()})")
+    for lk in topo.links:
+        up = rt.up_end_switch(lk)
+        down = lk.other_end(up).switch
+        print(f"  link {lk.link_id}: {down} --up--> {up}")
+
+    print("\n== reachability strings (down ports) ==")
+    for s in range(topo.num_switches):
+        for lk in rt.down_links_of(s):
+            nodes = sorted(reach.port_reach(s, lk))
+            print(f"  switch {s}, link {lk.link_id}: "
+                  f"mask=0x{reach.port_reach_mask(s, lk):08x} nodes={nodes}")
+
+    a, b = 0, topo.num_nodes - 1
+    sa, sb = topo.switch_of_node(a), topo.switch_of_node(b)
+    route = shortest_path_links(rt, sa, sb)
+    print(f"\n== sample up*/down* route: node {a} -> node {b} ==")
+    print(f"  switches: {path_switches(sa, route)} ({len(route)} hops)")
+
+    rng = random.Random(seed)
+    dests = rng.sample([n for n in range(topo.num_nodes) if n != 0], 10)
+    print(f"\n== multicast plans: source 0 -> {sorted(dests)} ==")
+
+    tp = plan_tree_worm(net, topo.switch_of_node(0), dests)
+    print(f"  tree worm: climb {list(tp.up_switch_path)} then replicate "
+          f"downward from switch {tp.turn_switch}")
+
+    pp = plan_path_worms(net, 0, dests)
+    print(f"  path worms: {len(pp.worms)} worm(s) in {pp.num_phases} phase(s)")
+    for i, phase in enumerate(pp.phases, 1):
+        for w in phase:
+            print(f"    phase {i}: node {w.sender} sends along "
+                  f"{list(w.switch_path)}, dropping {sorted(w.covered)}")
+
+    k, tree = NIKBinomialScheme().plan(net, 0, dests)
+    print(f"  NI k-binomial tree (k={k}):")
+    for node in [0] + sorted(dests):
+        if tree[node]:
+            print(f"    node {node} forwards to {tree[node]}")
+
+
+if __name__ == "__main__":
+    main()

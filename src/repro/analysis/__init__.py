@@ -1,0 +1,33 @@
+"""Closed-form latency models (contention-free) for simulator validation.
+
+Every model here predicts, analytically, what the event simulator must
+measure when exactly one operation runs on an idle network.  The test-suite
+cross-checks simulator output against these predictions on randomly drawn
+cases -- a model-vs-model consistency net that catches timing regressions
+in either implementation.
+"""
+
+from repro.analysis.closedform import (
+    unicast_message_latency,
+    unicast_packet_network_latency,
+    binomial_multicast_latency_bound,
+    tree_worm_latency,
+)
+from repro.analysis.requirements import (
+    SchemeRequirements,
+    render_requirements,
+    requirements_table,
+)
+from repro.analysis.saturation import SaturationEstimate, predict_saturation
+
+__all__ = [
+    "unicast_packet_network_latency",
+    "unicast_message_latency",
+    "binomial_multicast_latency_bound",
+    "tree_worm_latency",
+    "SchemeRequirements",
+    "requirements_table",
+    "render_requirements",
+    "SaturationEstimate",
+    "predict_saturation",
+]

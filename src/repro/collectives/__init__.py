@@ -1,0 +1,31 @@
+"""Collective operations built on the multicast schemes (extension).
+
+The paper motivates multicast as the building block of collective
+communication -- barriers, reductions, DSM cache-invalidation with
+acknowledgement collection (its reference [2]).  This package implements
+those composites on top of any of the four multicast schemes, so the
+NI-vs-switch question can be asked of whole collectives, not just the bare
+multicast.
+"""
+
+from repro.collectives.ops import (
+    CollectiveResult,
+    allreduce,
+    barrier,
+    broadcast,
+    gather_to_root,
+    multicast_with_acks,
+    reduce_to_root,
+    scatter_from_root,
+)
+
+__all__ = [
+    "CollectiveResult",
+    "broadcast",
+    "barrier",
+    "reduce_to_root",
+    "gather_to_root",
+    "scatter_from_root",
+    "allreduce",
+    "multicast_with_acks",
+]

@@ -1,0 +1,337 @@
+"""Timed collective operations over the simulated network.
+
+These model the *communication* of each collective (message flow, overheads,
+contention); payload semantics (the reduction operator, barrier counters)
+contribute only their host-software cost, which is already captured by the
+per-message host overhead.
+
+All completion times are reported through :class:`CollectiveResult`; the
+simulation must be run (``net.run()``) for results to fill in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.multicast import make_scheme
+from repro.multicast.base import MulticastResult
+from repro.sim.messaging import HostReceiver, host_send
+from repro.sim.network import SimNetwork
+
+ACK_FLITS = 8
+"""Length of control packets (acks, barrier tokens): header + a few flits."""
+
+
+@dataclass
+class CollectiveResult:
+    """Outcome of one collective operation."""
+
+    kind: str
+    root: int
+    participants: tuple[int, ...]
+    start_time: float
+    complete_time: float | None = None
+    node_times: dict[int, float] = field(default_factory=dict)
+    """Per-node local completion times (meaning depends on the collective:
+    release receipt for barriers, delivery for broadcasts, ...)."""
+
+    @property
+    def complete(self) -> bool:
+        return self.complete_time is not None
+
+    @property
+    def latency(self) -> float:
+        if self.complete_time is None:
+            raise RuntimeError(f"{self.kind} not complete")
+        return self.complete_time - self.start_time
+
+
+def _send_control(net: SimNetwork, src: int, dst: int,
+                  on_delivered: Callable[[float], None]) -> None:
+    """One short control message (ack/token) with full host+NI overheads."""
+    receiver = HostReceiver(net.hosts[dst], 1, on_delivered)
+    steer = net.unicast_steer(dst)
+
+    def launch() -> None:
+        net.hosts[src].launch_worm(
+            steer,
+            initial_state=None,
+            on_delivered=lambda _n, _t: receiver.packet_arrived(),
+            length=ACK_FLITS,
+            label=f"ctl:{src}->{dst}",
+        )
+
+    host_send(net.hosts[src], [launch])
+
+
+def broadcast(
+    net: SimNetwork,
+    root: int,
+    scheme_name: str = "tree",
+    on_complete: Callable[[CollectiveResult], None] | None = None,
+    **scheme_kw,
+) -> CollectiveResult:
+    """One-to-all broadcast: a multicast to every other node."""
+    dests = [n for n in range(net.topo.num_nodes) if n != root]
+    result = CollectiveResult(
+        "broadcast", root, tuple(range(net.topo.num_nodes)), net.engine.now
+    )
+
+    def done(mres: MulticastResult) -> None:
+        result.node_times.update(mres.delivery_times)
+        result.complete_time = net.engine.now
+        if on_complete is not None:
+            on_complete(result)
+
+    make_scheme(scheme_name, **scheme_kw).execute(net, root, dests, done)
+    return result
+
+
+def multicast_with_acks(
+    net: SimNetwork,
+    source: int,
+    dests: list[int],
+    scheme_name: str = "tree",
+    on_complete: Callable[[CollectiveResult], None] | None = None,
+    **scheme_kw,
+) -> CollectiveResult:
+    """Multicast followed by ack collection at the source.
+
+    This is the DSM cache-invalidation pattern of the paper's reference [2]:
+    the operation completes when the *source* has received an ack from every
+    destination.
+    """
+    result = CollectiveResult(
+        "multicast+acks", source, tuple([source] + list(dests)), net.engine.now
+    )
+    pending = {"acks": len(dests)}
+
+    def on_ack(dest: int, t: float) -> None:
+        result.node_times[dest] = t
+        pending["acks"] -= 1
+        if pending["acks"] == 0:
+            result.complete_time = net.engine.now
+            if on_complete is not None:
+                on_complete(result)
+
+    scheme = make_scheme(scheme_name, **scheme_kw)
+    mres = scheme.execute(net, source, list(dests))
+    # Each destination acks as soon as its host has the message.
+    mres.dest_hook = lambda dest, _t: _send_control(
+        net, dest, source, lambda t, d=dest: on_ack(d, t)
+    )
+    return result
+
+
+def barrier(
+    net: SimNetwork,
+    root: int = 0,
+    scheme_name: str = "tree",
+    on_complete: Callable[[CollectiveResult], None] | None = None,
+    **scheme_kw,
+) -> CollectiveResult:
+    """All-node barrier: gather tokens at the root, multicast the release.
+
+    Every node sends an arrival token to the root (control message); when
+    the root has all of them it multicasts the release; each node's barrier
+    exit time is its release delivery.
+    """
+    nodes = list(range(net.topo.num_nodes))
+    others = [n for n in nodes if n != root]
+    result = CollectiveResult("barrier", root, tuple(nodes), net.engine.now)
+    pending = {"tokens": len(others)}
+
+    def release_done(mres: MulticastResult) -> None:
+        result.node_times.update(mres.delivery_times)
+        result.node_times[root] = net.engine.now
+        result.complete_time = net.engine.now
+        if on_complete is not None:
+            on_complete(result)
+
+    def on_token(_t: float) -> None:
+        pending["tokens"] -= 1
+        if pending["tokens"] == 0:
+            make_scheme(scheme_name, **scheme_kw).execute(
+                net, root, others, release_done
+            )
+
+    for n in others:
+        _send_control(net, n, root, on_token)
+    return result
+
+
+def gather_to_root(
+    net: SimNetwork,
+    root: int = 0,
+    on_complete: Callable[[CollectiveResult], None] | None = None,
+) -> CollectiveResult:
+    """All-to-one gather: every node sends its full message to the root.
+
+    Direct (non-combining) gather, as MPI_Gather semantics require distinct
+    payloads; the root's NI and I/O bus serialise the incoming messages.
+    """
+    nodes = list(range(net.topo.num_nodes))
+    others = [n for n in nodes if n != root]
+    result = CollectiveResult("gather", root, tuple(nodes), net.engine.now)
+    pending = {"left": len(others)}
+    m = net.params.message_packets
+
+    def one_done(sender: int, t: float) -> None:
+        result.node_times[sender] = t
+        pending["left"] -= 1
+        if pending["left"] == 0:
+            result.complete_time = net.engine.now
+            if on_complete is not None:
+                on_complete(result)
+
+    for n in others:
+        receiver = HostReceiver(
+            net.hosts[root], m, lambda t, s=n: one_done(s, t)
+        )
+        steer = net.unicast_steer(root)
+
+        def launch(n=n, receiver=receiver, steer=steer) -> None:
+            net.hosts[n].launch_worm(
+                steer,
+                initial_state=None,
+                on_delivered=lambda _x, _t: receiver.packet_arrived(),
+                label=f"gat:{n}->{root}",
+            )
+
+        host_send(net.hosts[n], [launch for _ in range(m)])
+    return result
+
+
+def scatter_from_root(
+    net: SimNetwork,
+    root: int = 0,
+    on_complete: Callable[[CollectiveResult], None] | None = None,
+) -> CollectiveResult:
+    """One-to-all scatter: the root sends a *distinct* message to each node.
+
+    Personalised data cannot be multicast, so the root issues one
+    conventional send per destination; its host CPU, I/O bus, and injection
+    link serialise the operation (the classic root bottleneck).
+    """
+    nodes = list(range(net.topo.num_nodes))
+    others = [n for n in nodes if n != root]
+    result = CollectiveResult("scatter", root, tuple(nodes), net.engine.now)
+    pending = {"left": len(others)}
+    m = net.params.message_packets
+
+    def one_done(dest: int, t: float) -> None:
+        result.node_times[dest] = t
+        pending["left"] -= 1
+        if pending["left"] == 0:
+            result.complete_time = net.engine.now
+            if on_complete is not None:
+                on_complete(result)
+
+    for n in others:
+        receiver = HostReceiver(
+            net.hosts[n], m, lambda t, d=n: one_done(d, t)
+        )
+        steer = net.unicast_steer(n)
+
+        def launch(n=n, receiver=receiver, steer=steer) -> None:
+            net.hosts[root].launch_worm(
+                steer,
+                initial_state=None,
+                on_delivered=lambda _x, _t: receiver.packet_arrived(),
+                label=f"sca:{root}->{n}",
+            )
+
+        host_send(net.hosts[root], [launch for _ in range(m)])
+    return result
+
+
+def allreduce(
+    net: SimNetwork,
+    root: int = 0,
+    scheme_name: str = "tree",
+    on_complete: Callable[[CollectiveResult], None] | None = None,
+    **scheme_kw,
+) -> CollectiveResult:
+    """Reduce-to-root followed by a broadcast of the result.
+
+    The broadcast leg uses the chosen multicast scheme, so the NI-vs-switch
+    question applies to half of the operation's critical path.
+    """
+    nodes = list(range(net.topo.num_nodes))
+    result = CollectiveResult("allreduce", root, tuple(nodes), net.engine.now)
+
+    def bcast_done(b: CollectiveResult) -> None:
+        result.node_times.update(b.node_times)
+        result.complete_time = net.engine.now
+        if on_complete is not None:
+            on_complete(result)
+
+    def reduce_done(_r: CollectiveResult) -> None:
+        broadcast(net, root, scheme_name, bcast_done, **scheme_kw)
+
+    reduce_to_root(net, root, reduce_done)
+    return result
+
+
+def reduce_to_root(
+    net: SimNetwork,
+    root: int = 0,
+    on_complete: Callable[[CollectiveResult], None] | None = None,
+) -> CollectiveResult:
+    """All-to-one reduction over a binomial combining tree.
+
+    The inverse of the binomial multicast: leaves send full messages up a
+    binomial tree; each interior node combines (its host overhead models the
+    operator) and forwards one message to its parent.  Completion is the
+    root's receipt of its last child's contribution.
+    """
+    from repro.multicast.binomial import build_binomial_tree
+    from repro.multicast.ordering import contention_aware_order
+
+    nodes = list(range(net.topo.num_nodes))
+    others = [n for n in nodes if n != root]
+    ordered = contention_aware_order(net.topo, net.routing, root, others)
+    tree = build_binomial_tree([root] + ordered)
+    parent: dict[int, int] = {}
+    for p, children in tree.items():
+        for c in children:
+            parent[c] = p
+    result = CollectiveResult("reduce", root, tuple(nodes), net.engine.now)
+    n_packets = net.params.message_packets
+    waiting = {n: len(tree[n]) for n in nodes}
+
+    def contribution_ready(node: int) -> None:
+        """All of ``node``'s children combined; send up (or finish)."""
+        if node == root:
+            result.node_times[root] = net.engine.now
+            result.complete_time = net.engine.now
+            if on_complete is not None:
+                on_complete(result)
+            return
+        dst = parent[node]
+        receiver = HostReceiver(
+            net.hosts[dst], n_packets, lambda t: child_arrived(dst, t)
+        )
+        steer = net.unicast_steer(dst)
+
+        def launch() -> None:
+            net.hosts[node].launch_worm(
+                steer,
+                initial_state=None,
+                on_delivered=lambda _n, _t: receiver.packet_arrived(),
+                label=f"red:{node}->{dst}",
+            )
+
+        host_send(net.hosts[node], [launch for _ in range(n_packets)])
+
+    def child_arrived(node: int, t: float) -> None:
+        result.node_times[node] = t
+        waiting[node] -= 1
+        if waiting[node] == 0:
+            contribution_ready(node)
+
+    for n in nodes:
+        if waiting[n] == 0:
+            contribution_ready(n)
+    return result

@@ -1,0 +1,21 @@
+"""Experiment harness reproducing the paper's evaluation (system S15).
+
+One module per figure of the paper's Section 4, plus the experiments the
+paper mentions but omits for space (E7) and our own ablations (E8).  Each
+experiment is a function returning an :class:`ExperimentResult`; the CLI and
+the benchmark suite are thin wrappers around the registry.
+"""
+
+from repro.experiments.base import ExperimentResult, Series
+from repro.experiments.config import FULL, QUICK, Profile
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+
+__all__ = [
+    "ExperimentResult",
+    "Series",
+    "Profile",
+    "QUICK",
+    "FULL",
+    "EXPERIMENTS",
+    "run_experiment",
+]

@@ -1,0 +1,200 @@
+"""E8: ablations of the design choices DESIGN.md calls out.
+
+* input buffer size (wormhole <-> virtual cut-through regimes),
+* FPFS vs store-and-forward forwarding at the smart NI,
+* adaptive vs deterministic up*/down* routing,
+* MDP-LG vs plain greedy worm selection,
+* fixed vs auto-selected k for the k-binomial tree.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.base import (
+    ExperimentResult,
+    Series,
+    single_multicast_sweep,
+)
+from repro.experiments.config import Profile
+from repro.params import SimParams
+from repro.traffic.single import average_single_multicast_latency
+
+BUFFER_SIZES = (8, 64, 256)
+
+
+def run_buffer_size(profile: Profile, base: SimParams | None = None) -> ExperimentResult:
+    """Input-buffer size sweep (all schemes)."""
+    base = base or SimParams()
+    variants = {
+        f"buf={b}": base.replace(input_buffer_flits=b) for b in BUFFER_SIZES
+    }
+    return single_multicast_sweep(
+        "ablation-buffer",
+        "Effect of switch input-buffer size on single multicast latency",
+        variants,
+        profile,
+    )
+
+
+def run_buffer_size_under_load(profile: Profile, base: SimParams | None = None) -> ExperimentResult:
+    """Input-buffer size under multicast load -- where VCT vs wormhole shows.
+
+    Isolated multicasts see no buffer effect (ablation-buffer); with
+    contention, large buffers absorb blocked packets (virtual cut-through)
+    and free upstream channels, while small buffers chain-block.
+    """
+    from repro.experiments.base import load_sweep
+
+    base = base or SimParams()
+    variants = {
+        f"buf={b}": base.replace(input_buffer_flits=b) for b in BUFFER_SIZES
+    }
+    return load_sweep(
+        "ablation-buffer-load",
+        "Input-buffer size under multicast load (VCT vs wormhole)",
+        variants,
+        profile,
+        schemes=("tree",),
+        degrees=(16,),
+    )
+
+
+def run_ni_policies(profile: Profile, base: SimParams | None = None) -> ExperimentResult:
+    """FPFS vs store-and-forward NI forwarding, multi-packet messages."""
+    base = (base or SimParams()).replace(message_packets=4)
+    variants = {
+        "fpfs": base,
+        "store&fwd": base.replace(ni_store_and_forward=True),
+    }
+    return single_multicast_sweep(
+        "ablation-fpfs",
+        "FPFS vs store-and-forward smart-NI forwarding (512-flit messages)",
+        variants,
+        profile,
+        schemes=("ni",),
+    )
+
+
+def run_routing_policy(profile: Profile, base: SimParams | None = None) -> ExperimentResult:
+    """Adaptive vs deterministic minimal up*/down* routing."""
+    base = base or SimParams()
+    variants = {
+        "adaptive": base,
+        "deterministic": base.replace(adaptive_routing=False),
+    }
+    return single_multicast_sweep(
+        "ablation-routing",
+        "Adaptive vs deterministic routing, single multicast latency",
+        variants,
+        profile,
+    )
+
+
+def run_tree_orientation(profile: Profile, base: SimParams | None = None) -> ExperimentResult:
+    """BFS (Autonet) vs DFS-preorder link orientation."""
+    base = base or SimParams()
+    variants = {
+        "bfs": base,
+        "dfs": base.replace(routing_tree="dfs"),
+    }
+    return single_multicast_sweep(
+        "ablation-orientation",
+        "BFS vs DFS up*/down* link orientation, single multicast latency",
+        variants,
+        profile,
+    )
+
+
+def run_path_strategy(profile: Profile, base: SimParams | None = None) -> ExperimentResult:
+    """MDP-LG vs plain greedy path-worm selection."""
+    base = base or SimParams()
+    series = []
+    for label, strategy in (("lg", "lg"), ("greedy", "greedy")):
+        ys = []
+        sizes = [s for s in profile.group_sizes if s < base.num_nodes]
+        for size in sizes:
+            summ = average_single_multicast_latency(
+                base,
+                "path",
+                size,
+                n_topologies=profile.n_topologies,
+                trials_per_topology=profile.trials_per_topology,
+                seed=profile.seed,
+                strategy=strategy,
+            )
+            ys.append(summ.mean)
+        series.append(
+            Series(label=f"path/{label}", x=[float(s) for s in sizes], y=ys)
+        )
+    return ExperimentResult(
+        exp_id="ablation-pathstrategy",
+        title="MDP-LG vs greedy path-worm selection",
+        x_label="multicast set size",
+        y_label="single multicast latency (cycles)",
+        series=series,
+    )
+
+
+def run_header_capacity(profile: Profile, base: SimParams | None = None) -> ExperimentResult:
+    """Header-capacity-limited tree worms (Section 3.3 cost concern)."""
+    base = base or SimParams()
+    series = []
+    sizes = [s for s in profile.group_sizes if s < base.num_nodes]
+    for label, cap in (("unlimited", None), ("cap=8", 8), ("cap=4", 4)):
+        ys = []
+        for size in sizes:
+            summ = average_single_multicast_latency(
+                base,
+                "tree",
+                size,
+                n_topologies=profile.n_topologies,
+                trials_per_topology=profile.trials_per_topology,
+                seed=profile.seed,
+                max_header_dests=cap,
+            )
+            ys.append(summ.mean)
+        series.append(
+            Series(label=f"tree/{label}", x=[float(s) for s in sizes], y=ys)
+        )
+    return ExperimentResult(
+        exp_id="ablation-header",
+        title="Tree-worm header capacity: unlimited vs chunked headers",
+        x_label="multicast set size",
+        y_label="single multicast latency (cycles)",
+        series=series,
+    )
+
+
+def run_fixed_k(profile: Profile, base: SimParams | None = None) -> ExperimentResult:
+    """Forcing the k-binomial fan-out vs the analytic auto-selection."""
+    base = base or SimParams()
+    series = []
+    sizes = [s for s in profile.group_sizes if s < base.num_nodes]
+    for label, kw in (
+        ("auto", {}),
+        ("k=1", {"fixed_k": 1}),
+        ("k=2", {"fixed_k": 2}),
+        ("k=4", {"fixed_k": 4}),
+        ("k=8", {"fixed_k": 8}),
+    ):
+        ys = []
+        for size in sizes:
+            summ = average_single_multicast_latency(
+                base,
+                "ni",
+                size,
+                n_topologies=profile.n_topologies,
+                trials_per_topology=profile.trials_per_topology,
+                seed=profile.seed,
+                **kw,
+            )
+            ys.append(summ.mean)
+        series.append(
+            Series(label=f"ni/{label}", x=[float(s) for s in sizes], y=ys)
+        )
+    return ExperimentResult(
+        exp_id="ablation-fixedk",
+        title="k-binomial fan-out: auto-selected vs fixed k",
+        x_label="multicast set size",
+        y_label="single multicast latency (cycles)",
+        series=series,
+    )

@@ -1,0 +1,175 @@
+"""Result containers and generic sweep engines for the experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.experiments.config import Profile
+from repro.params import SimParams
+from repro.topology.irregular import generate_topology_family
+from repro.traffic.load import run_load_experiment
+from repro.traffic.single import average_single_multicast_latency
+
+SCHEME_ORDER = ("binomial", "ni", "path", "tree")
+ENHANCED_SCHEMES = ("ni", "path", "tree")
+"""The three schemes the paper's figures compare (binomial is the Section
+3.1 baseline, included in our extended runs)."""
+
+
+@dataclass
+class Series:
+    """One curve of a figure."""
+
+    label: str
+    x: list[float]
+    y: list[float | None]
+    meta: dict = field(default_factory=dict)
+
+
+@dataclass
+class ExperimentResult:
+    """All curves regenerating one figure (or one of our extras)."""
+
+    exp_id: str
+    title: str
+    x_label: str
+    y_label: str
+    series: list[Series]
+
+    def to_table(self) -> str:
+        """Render the figure's data as an aligned text table.
+
+        Series may have different x supports (e.g. a 16-node variant cannot
+        host a 28-way multicast); missing cells render as '-'.
+        """
+        xs = sorted({x for s in self.series for x in s.x})
+        header = [self.x_label] + [s.label for s in self.series]
+        rows: list[list[str]] = []
+        for x in xs:
+            row = [f"{x:g}"]
+            for s in self.series:
+                if x in s.x:
+                    v = s.y[s.x.index(x)]
+                    row.append("sat" if v is None else f"{v:.0f}")
+                else:
+                    row.append("-")
+            rows.append(row)
+        widths = [
+            max(len(header[c]), *(len(r[c]) for r in rows)) if rows else len(header[c])
+            for c in range(len(header))
+        ]
+        lines = [
+            f"== {self.exp_id}: {self.title} ==",
+            "  ".join(h.rjust(w) for h, w in zip(header, widths)),
+        ]
+        for r in rows:
+            lines.append("  ".join(v.rjust(w) for v, w in zip(r, widths)))
+        lines.append(f"(y = {self.y_label})")
+        return "\n".join(lines)
+
+    def curve(self, label: str) -> Series:
+        """Look a series up by exact label."""
+        for s in self.series:
+            if s.label == label:
+                return s
+        raise KeyError(f"no series {label!r} in {self.exp_id}")
+
+
+def single_multicast_sweep(
+    exp_id: str,
+    title: str,
+    variants: dict[str, SimParams],
+    profile: Profile,
+    schemes: tuple[str, ...] = ENHANCED_SCHEMES,
+    group_sizes: tuple[int, ...] | None = None,
+) -> ExperimentResult:
+    """Latency vs destination-set size, one curve per (variant, scheme).
+
+    This is the engine behind Figures 6-8: vary one parameter across
+    ``variants`` while sweeping the multicast set size on the x-axis.
+    """
+    sizes = list(group_sizes or profile.group_sizes)
+    series: list[Series] = []
+    for vlabel, params in variants.items():
+        sizes_v = [s for s in sizes if s < params.num_nodes]
+        for scheme in schemes:
+            ys: list[float | None] = []
+            for size in sizes_v:
+                summ = average_single_multicast_latency(
+                    params,
+                    scheme,
+                    size,
+                    n_topologies=profile.n_topologies,
+                    trials_per_topology=profile.trials_per_topology,
+                    seed=profile.seed,
+                )
+                ys.append(summ.mean)
+            series.append(
+                Series(
+                    label=f"{vlabel}/{scheme}",
+                    x=[float(s) for s in sizes_v],
+                    y=ys,
+                    meta={"variant": vlabel, "scheme": scheme},
+                )
+            )
+    return ExperimentResult(
+        exp_id=exp_id,
+        title=title,
+        x_label="multicast set size",
+        y_label="single multicast latency (cycles)",
+        series=series,
+    )
+
+
+def load_sweep(
+    exp_id: str,
+    title: str,
+    variants: dict[str, SimParams],
+    profile: Profile,
+    schemes: tuple[str, ...] = ENHANCED_SCHEMES,
+    degrees: tuple[int, ...] | None = None,
+) -> ExperimentResult:
+    """Latency vs effective applied load -- the engine behind Figures 9-11.
+
+    One curve per (variant, degree, scheme); saturated points report None.
+    The paper averages load curves over fewer topologies than single-shot
+    experiments (they are far more expensive); we use the first topology of
+    the family per variant, which preserves curve shapes.
+    """
+    series: list[Series] = []
+    for vlabel, params in variants.items():
+        topo = generate_topology_family(params, 1)[0]
+        for degree in degrees or profile.load_degrees:
+            for scheme in schemes:
+                ys: list[float | None] = []
+                for load in profile.loads:
+                    point = run_load_experiment(
+                        topo,
+                        params,
+                        scheme,
+                        degree=degree,
+                        effective_load=load,
+                        duration=profile.load_duration,
+                        warmup=profile.load_warmup,
+                        seed=profile.seed,
+                    )
+                    ys.append(None if point.saturated else point.mean_latency)
+                series.append(
+                    Series(
+                        label=f"{vlabel}/{degree}-way/{scheme}",
+                        x=list(profile.loads),
+                        y=ys,
+                        meta={
+                            "variant": vlabel,
+                            "degree": degree,
+                            "scheme": scheme,
+                        },
+                    )
+                )
+    return ExperimentResult(
+        exp_id=exp_id,
+        title=title,
+        x_label="effective applied load (flits/cycle/node)",
+        y_label="mean multicast latency (cycles)",
+        series=series,
+    )

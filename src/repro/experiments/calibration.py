@@ -1,0 +1,100 @@
+"""Parameter-sensitivity (tornado) analysis.
+
+For every numeric parameter the model depends on, vary it down/up by a
+factor around the default and measure the impact on each scheme's isolated
+multicast latency.  The result ranks the parameters by leverage -- which is
+both a sanity check on the reconstruction (DESIGN.md's OCR'd constants) and
+the quantitative version of the paper's claim that R is "the most important
+of these parameters".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.params import SimParams
+from repro.traffic.single import average_single_multicast_latency
+
+TORNADO_PARAMS: dict[str, tuple] = {
+    "o_host": (int, 0.5, 2.0),
+    "ratio_r": (float, 0.5, 2.0),
+    "io_bus_flits_per_cycle": (float, 0.5, 2.0),
+    "packet_flits": (int, 0.5, 2.0),
+    "input_buffer_flits": (int, 0.5, 2.0),
+    "link_delay": (int, 1.0, 3.0),
+    "routing_delay": (int, 1.0, 3.0),
+}
+"""parameter -> (type, low multiplier, high multiplier)."""
+
+
+@dataclass(frozen=True)
+class TornadoBar:
+    """Sensitivity of one scheme to one parameter."""
+
+    parameter: str
+    scheme: str
+    base_latency: float
+    low_latency: float
+    high_latency: float
+
+    @property
+    def swing(self) -> float:
+        """Relative latency swing across the parameter's range."""
+        return abs(self.high_latency - self.low_latency) / self.base_latency
+
+
+def tornado_analysis(
+    base: SimParams | None = None,
+    schemes: tuple[str, ...] = ("ni", "path", "tree"),
+    group_size: int = 16,
+    n_topologies: int = 2,
+    trials: int = 2,
+    seed: int = 2024,
+) -> list[TornadoBar]:
+    """One :class:`TornadoBar` per (parameter, scheme), sorted by swing."""
+    base = base or SimParams()
+
+    def lat(params: SimParams, scheme: str) -> float:
+        return average_single_multicast_latency(
+            params, scheme, group_size,
+            n_topologies=n_topologies, trials_per_topology=trials, seed=seed,
+        ).mean
+
+    bars: list[TornadoBar] = []
+    base_lat = {s: lat(base, s) for s in schemes}
+    for name, (cast, lo_mult, hi_mult) in TORNADO_PARAMS.items():
+        default = getattr(base, name)
+        lo_val = cast(default * lo_mult)
+        hi_val = cast(default * hi_mult)
+        if lo_val == default and hi_val == default:
+            continue
+        lo_params = base.replace(**{name: lo_val})
+        hi_params = base.replace(**{name: hi_val})
+        lo_params.validate()
+        hi_params.validate()
+        for scheme in schemes:
+            bars.append(
+                TornadoBar(
+                    parameter=name,
+                    scheme=scheme,
+                    base_latency=base_lat[scheme],
+                    low_latency=lat(lo_params, scheme),
+                    high_latency=lat(hi_params, scheme),
+                )
+            )
+    bars.sort(key=lambda b: -b.swing)
+    return bars
+
+
+def render_tornado(bars: list[TornadoBar], width: int = 40) -> str:
+    """Text tornado chart, widest swings on top."""
+    if not bars:
+        return "(no sensitivity bars)"
+    max_swing = max(b.swing for b in bars) or 1.0
+    lines = [f"{'parameter':<24}{'scheme':<6}{'swing':>8}  impact"]
+    for b in bars:
+        bar = "#" * max(1, round(b.swing / max_swing * width))
+        lines.append(
+            f"{b.parameter:<24}{b.scheme:<6}{b.swing:>7.1%}  {bar}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,119 @@
+"""Automated check of the paper's four conclusions.
+
+Runs the minimal set of measurements that support each conclusion of the
+paper's Section 5 and reports, per conclusion, the measured evidence and a
+HOLDS / FAILS verdict -- the repository's executable abstract.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.params import SimParams
+from repro.traffic.load import run_load_experiment
+from repro.traffic.single import average_single_multicast_latency
+from repro.topology.irregular import generate_topology_family
+
+
+@dataclass(frozen=True)
+class ConclusionCheck:
+    """One conclusion's verdict with its supporting evidence."""
+
+    claim: str
+    evidence: str
+    holds: bool
+
+
+def check_conclusions(
+    params: SimParams | None = None,
+    n_topologies: int = 2,
+    trials: int = 2,
+    load_duration: int = 60_000,
+    seed: int = 2024,
+) -> list[ConclusionCheck]:
+    """Measure and judge all four conclusions; see the paper's Section 5."""
+    base = params or SimParams()
+
+    def lat(p: SimParams, scheme: str, size: int = 16, **kw) -> float:
+        return average_single_multicast_latency(
+            p, scheme, size, n_topologies=n_topologies,
+            trials_per_topology=trials, seed=seed, **kw
+        ).mean
+
+    checks: list[ConclusionCheck] = []
+
+    # 1. Tree-based performs best (across R, switches, lengths).
+    worst_margin = float("inf")
+    for variant in (
+        base,
+        base.replace(ratio_r=0.5),
+        base.replace(ratio_r=4.0),
+        base.replace(num_switches=16),
+        base.replace(message_packets=4),
+    ):
+        t = lat(variant, "tree")
+        others = min(lat(variant, "ni"), lat(variant, "path"))
+        worst_margin = min(worst_margin, others / t)
+    checks.append(
+        ConclusionCheck(
+            claim="tree-based single-worm multicast performs best",
+            evidence=f"next-best scheme >= {worst_margin:.2f}x tree latency "
+                     "across R/switch/length variants",
+            holds=worst_margin > 1.0,
+        )
+    )
+
+    # 2. R is pivotal: path wins at R=0.5, NI wins at R=4.
+    path_low = lat(base.replace(ratio_r=0.5), "path")
+    ni_low = lat(base.replace(ratio_r=0.5), "ni")
+    path_high = lat(base.replace(ratio_r=4.0), "path")
+    ni_high = lat(base.replace(ratio_r=4.0), "ni")
+    checks.append(
+        ConclusionCheck(
+            claim="NI-vs-path ranking flips with R (crossover near R=2)",
+            evidence=f"R=0.5: ni/path={ni_low / path_low:.2f}; "
+                     f"R=4: ni/path={ni_high / path_high:.2f}",
+            holds=ni_low > path_low and ni_high < path_high,
+        )
+    )
+
+    # 3. Under load, tree saturates last (mid-load latency lowest).
+    topo = generate_topology_family(base, 1)[0]
+    mid = {}
+    for scheme in ("ni", "path", "tree"):
+        p = run_load_experiment(
+            topo, base, scheme, degree=16, effective_load=0.08,
+            duration=load_duration, warmup=load_duration // 10, seed=seed,
+        )
+        mid[scheme] = float("inf") if p.saturated or p.mean_latency is None \
+            else p.mean_latency
+    checks.append(
+        ConclusionCheck(
+            claim="under multicast load the tree scheme degrades least",
+            evidence=f"16-way @0.08: tree={mid['tree']:.0f}, "
+                     f"ni={mid['ni']:.0f}, path={mid['path']:.0f}",
+            holds=mid["tree"] <= min(mid["ni"], mid["path"]),
+        )
+    )
+
+    # 4. NI support is a worthwhile first step over the software baseline.
+    soft = lat(base, "binomial")
+    ni = lat(base, "ni")
+    checks.append(
+        ConclusionCheck(
+            claim="NI support alone beats the software binomial baseline",
+            evidence=f"binomial/ni latency ratio = {soft / ni:.2f}x",
+            holds=ni < soft,
+        )
+    )
+    return checks
+
+
+def render_conclusions(checks: list[ConclusionCheck]) -> str:
+    """Text report of the executable abstract."""
+    lines = []
+    for i, c in enumerate(checks, 1):
+        verdict = "HOLDS" if c.holds else "FAILS"
+        lines.append(f"{i}. [{verdict}] {c.claim}")
+        lines.append(f"      {c.evidence}")
+    return "\n".join(lines)

@@ -1,0 +1,49 @@
+"""Execution profiles for the experiment harness.
+
+The paper simulates >= 1M cycles per load point over 10 random topologies; a
+pure-Python reproduction scales those constants down by default.  ``QUICK``
+is for tests/benchmarks (seconds per figure); ``FULL`` approaches the paper's
+methodology (minutes per figure) and is what EXPERIMENTS.md numbers use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Profile:
+    """Scale knobs shared by all experiments."""
+
+    name: str
+    n_topologies: int
+    trials_per_topology: int
+    group_sizes: tuple[int, ...]
+    loads: tuple[float, ...]
+    load_duration: int
+    load_warmup: int
+    load_degrees: tuple[int, ...] = (4, 16)
+    seed: int = 2024
+
+
+QUICK = Profile(
+    name="quick",
+    n_topologies=2,
+    trials_per_topology=2,
+    group_sizes=(4, 8, 16, 28),
+    loads=(0.01, 0.04, 0.08, 0.12),
+    load_duration=60_000,
+    load_warmup=6_000,
+)
+
+FULL = Profile(
+    name="full",
+    n_topologies=10,
+    trials_per_topology=3,
+    group_sizes=(2, 4, 8, 12, 16, 20, 24, 28, 31),
+    loads=(0.01, 0.02, 0.04, 0.06, 0.09, 0.12, 0.16, 0.20),
+    load_duration=400_000,
+    load_warmup=40_000,
+)
+
+PROFILES = {"quick": QUICK, "full": FULL}

@@ -1,0 +1,26 @@
+"""E1 / Figure 6: effect of R = o_host/o_ni on single-multicast latency.
+
+The paper fixes ``o_host`` and varies ``o_ni`` to generate R in
+{0.5, 1, 2, 4}.  Expected shape: the tree-based scheme is flat-best; the
+NI-based scheme overtakes the path-based scheme as R grows (interior NI
+overheads shrink while every path-worm phase still pays host overheads).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.base import ExperimentResult, single_multicast_sweep
+from repro.experiments.config import Profile
+from repro.params import SimParams
+
+R_VALUES = (0.5, 1.0, 2.0, 4.0)
+
+
+def run(profile: Profile, base: SimParams | None = None) -> ExperimentResult:
+    base = base or SimParams()
+    variants = {f"R={r:g}": base.replace(ratio_r=r) for r in R_VALUES}
+    return single_multicast_sweep(
+        "fig06",
+        "Effect of R = o_host/o_ni on single multicast latency",
+        variants,
+        profile,
+    )

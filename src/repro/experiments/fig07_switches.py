@@ -1,0 +1,29 @@
+"""E2 / Figure 7: effect of switch count on single-multicast latency.
+
+Node count stays fixed (32) while the system uses 8, 16, or 32 8-port
+switches.  More switches = fewer destinations per switch, so the path-based
+scheme needs more worms and phases and degrades; the NI- and tree-based
+schemes stay nearly flat (cut-through routing is almost distance
+independent).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.base import ExperimentResult, single_multicast_sweep
+from repro.experiments.config import Profile
+from repro.params import SimParams
+
+SWITCH_COUNTS = (8, 16, 32)
+
+
+def run(profile: Profile, base: SimParams | None = None) -> ExperimentResult:
+    base = base or SimParams()
+    variants = {
+        f"{s}sw": base.replace(num_switches=s) for s in SWITCH_COUNTS
+    }
+    return single_multicast_sweep(
+        "fig07",
+        "Effect of number of switches on single multicast latency",
+        variants,
+        profile,
+    )

@@ -1,0 +1,30 @@
+"""E3 / Figure 8: effect of message length on single-multicast latency.
+
+Messages longer than one 128-flit packet are split into packets.  Under the
+path-based scheme a phase ends only when the *whole* message has reached an
+intermediate destination's host; under FPFS the NI forwards each packet the
+moment it arrives, so the NI-based scheme gains with message length and
+overtakes the path-based scheme at a few hundred flits.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.base import ExperimentResult, single_multicast_sweep
+from repro.experiments.config import Profile
+from repro.params import SimParams
+
+MESSAGE_FLITS = (128, 256, 512, 1024)
+
+
+def run(profile: Profile, base: SimParams | None = None) -> ExperimentResult:
+    base = base or SimParams()
+    variants = {
+        f"{flits}f": base.replace(message_packets=flits // base.packet_flits)
+        for flits in MESSAGE_FLITS
+    }
+    return single_multicast_sweep(
+        "fig08",
+        "Effect of message length on single multicast latency",
+        variants,
+        profile,
+    )

@@ -1,0 +1,28 @@
+"""E4 / Figure 9: latency vs applied multicast load, varying R.
+
+4-way and 16-way multicasts under increasing effective applied load, for
+R in {0.5, 2 (default), 4}.  Expected: tree-based saturates latest for all
+R; for R <= ~1 the NI scheme is worst, but for larger R it becomes
+comparable to the tree scheme and clearly better than path-based (the paper
+attributes this partly to the NI scheme spreading receive times across
+recipients instead of hitting them simultaneously).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.base import ExperimentResult, load_sweep
+from repro.experiments.config import Profile
+from repro.params import SimParams
+
+R_VALUES = (0.5, 2.0, 4.0)
+
+
+def run(profile: Profile, base: SimParams | None = None) -> ExperimentResult:
+    base = base or SimParams()
+    variants = {f"R={r:g}": base.replace(ratio_r=r) for r in R_VALUES}
+    return load_sweep(
+        "fig09",
+        "Latency under multicast load, varying R",
+        variants,
+        profile,
+    )

@@ -1,0 +1,27 @@
+"""E5 / Figure 10: latency vs applied multicast load, varying switch count.
+
+As switches increase (nodes fixed), the path-based scheme's saturation load
+falls toward the NI-based scheme's; the tree-based scheme performs almost
+uniformly and saturates much later than both.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.base import ExperimentResult, load_sweep
+from repro.experiments.config import Profile
+from repro.params import SimParams
+
+SWITCH_COUNTS = (8, 16, 32)
+
+
+def run(profile: Profile, base: SimParams | None = None) -> ExperimentResult:
+    base = base or SimParams()
+    variants = {
+        f"{s}sw": base.replace(num_switches=s) for s in SWITCH_COUNTS
+    }
+    return load_sweep(
+        "fig10",
+        "Latency under multicast load, varying number of switches",
+        variants,
+        profile,
+    )

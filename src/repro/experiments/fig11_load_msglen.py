@@ -1,0 +1,29 @@
+"""E6 / Figure 11: latency vs applied multicast load, varying message length.
+
+128-flit vs 512-flit messages at 4-way and 16-way degrees.  The tree-based
+scheme wins at every length; NI- and path-based become comparable as
+messages lengthen, but under load the NI scheme's extra traffic (one unicast
+copy per tree edge) costs it contention, especially at high degree.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.base import ExperimentResult, load_sweep
+from repro.experiments.config import Profile
+from repro.params import SimParams
+
+MESSAGE_FLITS = (128, 512)
+
+
+def run(profile: Profile, base: SimParams | None = None) -> ExperimentResult:
+    base = base or SimParams()
+    variants = {
+        f"{flits}f": base.replace(message_packets=flits // base.packet_flits)
+        for flits in MESSAGE_FLITS
+    }
+    return load_sweep(
+        "fig11",
+        "Latency under multicast load, varying message length",
+        variants,
+        profile,
+    )

@@ -1,0 +1,79 @@
+"""Experiment-result export: JSON and CSV.
+
+The text tables in :meth:`ExperimentResult.to_table` are for humans; these
+exporters feed plotting scripts and downstream analysis without re-running
+simulations.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+import pathlib
+
+from repro.experiments.base import ExperimentResult, Series
+
+
+def result_to_dict(result: ExperimentResult) -> dict:
+    """Plain-data (JSON-ready) representation of an experiment result."""
+    return {
+        "exp_id": result.exp_id,
+        "title": result.title,
+        "x_label": result.x_label,
+        "y_label": result.y_label,
+        "series": [
+            {"label": s.label, "x": s.x, "y": s.y, "meta": s.meta}
+            for s in result.series
+        ],
+    }
+
+
+def result_from_dict(data: dict) -> ExperimentResult:
+    """Inverse of :func:`result_to_dict`."""
+    return ExperimentResult(
+        exp_id=data["exp_id"],
+        title=data["title"],
+        x_label=data["x_label"],
+        y_label=data["y_label"],
+        series=[
+            Series(
+                label=s["label"],
+                x=list(s["x"]),
+                y=list(s["y"]),
+                meta=dict(s.get("meta", {})),
+            )
+            for s in data["series"]
+        ],
+    )
+
+
+def save_result_json(result: ExperimentResult, path: str | pathlib.Path) -> None:
+    """Write one experiment's data to a JSON file."""
+    pathlib.Path(path).write_text(
+        json.dumps(result_to_dict(result), indent=2) + "\n"
+    )
+
+
+def load_result_json(path: str | pathlib.Path) -> ExperimentResult:
+    """Read an experiment result written by :func:`save_result_json`."""
+    return result_from_dict(json.loads(pathlib.Path(path).read_text()))
+
+
+def result_to_csv(result: ExperimentResult) -> str:
+    """Long-format CSV: one row per (series, x) point.
+
+    Columns: exp_id, series, x, y (empty cell = saturated/missing).
+    """
+    buf = io.StringIO()
+    writer = csv.writer(buf, lineterminator="\n")
+    writer.writerow(["exp_id", "series", "x", "y"])
+    for s in result.series:
+        for x, y in zip(s.x, s.y):
+            writer.writerow([result.exp_id, s.label, x, "" if y is None else y])
+    return buf.getvalue()
+
+
+def save_result_csv(result: ExperimentResult, path: str | pathlib.Path) -> None:
+    """Write one experiment's data to a long-format CSV file."""
+    pathlib.Path(path).write_text(result_to_csv(result))

@@ -1,0 +1,62 @@
+"""Experiment registry: id -> runner, consumed by the CLI and benchmarks."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.experiments import (
+    ablation,
+    extra_omitted,
+    fig06_ratio,
+    fig07_switches,
+    fig08_msglen,
+    fig09_load_ratio,
+    fig10_load_switches,
+    fig11_load_msglen,
+)
+from repro.experiments.base import ExperimentResult
+from repro.experiments.config import PROFILES, Profile
+
+EXPERIMENTS: dict[str, Callable[[Profile], ExperimentResult]] = {
+    "fig06": fig06_ratio.run,
+    "fig07": fig07_switches.run,
+    "fig08": fig08_msglen.run,
+    "fig09": fig09_load_ratio.run,
+    "fig10": fig10_load_switches.run,
+    "fig11": fig11_load_msglen.run,
+    "extra-hostoverhead": extra_omitted.run_host_overhead,
+    "extra-systemsize": extra_omitted.run_system_size,
+    "extra-packetlen": extra_omitted.run_packet_length,
+    "extra-background": extra_omitted.run_background_traffic,
+    "extra-regular": extra_omitted.run_regular_comparison,
+    "extra-faults": extra_omitted.run_fault_tolerance,
+    "extra-patterns": extra_omitted.run_traffic_patterns,
+    "ablation-buffer": ablation.run_buffer_size,
+    "ablation-buffer-load": ablation.run_buffer_size_under_load,
+    "ablation-fpfs": ablation.run_ni_policies,
+    "ablation-routing": ablation.run_routing_policy,
+    "ablation-orientation": ablation.run_tree_orientation,
+    "ablation-pathstrategy": ablation.run_path_strategy,
+    "ablation-header": ablation.run_header_capacity,
+    "ablation-fixedk": ablation.run_fixed_k,
+}
+
+PAPER_FIGURES = ("fig06", "fig07", "fig08", "fig09", "fig10", "fig11")
+
+
+def run_experiment(exp_id: str, profile: Profile | str = "quick") -> ExperimentResult:
+    """Run one experiment by id; profile may be a name or a Profile."""
+    if isinstance(profile, str):
+        try:
+            profile = PROFILES[profile]
+        except KeyError:
+            raise ValueError(
+                f"unknown profile {profile!r}; choose from {sorted(PROFILES)}"
+            )
+    try:
+        runner = EXPERIMENTS[exp_id]
+    except KeyError:
+        raise ValueError(
+            f"unknown experiment {exp_id!r}; choose from {sorted(EXPERIMENTS)}"
+        )
+    return runner(profile)

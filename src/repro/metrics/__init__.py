@@ -1,0 +1,5 @@
+"""Latency statistics and summaries (system S14)."""
+
+from repro.metrics.stats import LatencySummary, mean, percentile, summarize
+
+__all__ = ["LatencySummary", "mean", "percentile", "summarize"]

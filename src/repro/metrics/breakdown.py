@@ -1,0 +1,87 @@
+"""Latency decomposition: where do a multicast's cycles go?
+
+Splits a scheme's latency into three additive components by differential
+simulation:
+
+* **wire** -- the latency with all software overheads zeroed
+  (``o_host = 0``, ``R`` huge): pure injection/propagation/streaming time;
+* **software** -- isolated-run latency minus wire: the host/NI overhead
+  share (the paper's central quantity: "latency ... is still dominated by
+  the communication software overhead");
+* **contention** -- a loaded measurement minus the isolated latency.
+
+The split quantifies per scheme *why* it wins or loses: the tree scheme
+buys its factor by shrinking the software share to a single send+receive
+pair; FPFS attacks the same share at interior nodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.params import SimParams
+from repro.topology.graph import NetworkTopology
+from repro.traffic.single import measure_single_multicast
+
+
+@dataclass(frozen=True)
+class LatencyBreakdown:
+    """Additive latency components of one multicast configuration."""
+
+    scheme: str
+    wire: float
+    software: float
+    isolated_total: float
+    contention: float | None
+    """None when no loaded measurement was supplied."""
+
+    @property
+    def software_fraction(self) -> float:
+        """Share of the isolated latency spent in software overheads."""
+        return self.software / self.isolated_total if self.isolated_total else 0.0
+
+    def __str__(self) -> str:
+        parts = (
+            f"{self.scheme}: wire={self.wire:.0f} software={self.software:.0f} "
+            f"({self.software_fraction:.0%})"
+        )
+        if self.contention is not None:
+            parts += f" contention={self.contention:.0f}"
+        return parts
+
+
+def decompose_multicast(
+    topo: NetworkTopology,
+    params: SimParams,
+    scheme_name: str,
+    source: int,
+    dests: list[int],
+    measured_latency: float | None = None,
+    **scheme_kw,
+) -> LatencyBreakdown:
+    """Differential decomposition of one multicast's latency.
+
+    Args:
+        measured_latency: optionally, a latency observed under load for the
+            same (scheme, source, dests); its excess over the isolated run
+            is reported as contention.
+    """
+    isolated = measure_single_multicast(
+        topo, params, scheme_name, source, dests, **scheme_kw
+    ).latency
+    # Zero software: o_host = 0 and o_ni floored at 1 cycle (its minimum).
+    wire_params = params.replace(o_host=0, ratio_r=1.0)
+    wire = measure_single_multicast(
+        topo, wire_params, scheme_name, source, dests, **scheme_kw
+    ).latency
+    software = max(0.0, isolated - wire)
+    contention = (
+        None if measured_latency is None else max(0.0, measured_latency - isolated)
+    )
+    return LatencyBreakdown(
+        scheme=scheme_name,
+        wire=wire,
+        software=software,
+        isolated_total=isolated,
+        contention=contention,
+    )

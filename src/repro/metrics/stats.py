@@ -1,0 +1,90 @@
+"""Small statistics helpers for experiment results.
+
+Deliberately dependency-light (plain Python, no numpy requirement) so the
+hot simulation paths never pay for array conversions of tiny samples.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+def mean(xs: list[float]) -> float:
+    """Arithmetic mean; raises on empty input (silent NaN hides bugs)."""
+    if not xs:
+        raise ValueError("mean of empty sample")
+    return sum(xs) / len(xs)
+
+
+def percentile(xs: list[float], q: float) -> float:
+    """Linear-interpolation percentile, q in [0, 100]."""
+    if not xs:
+        raise ValueError("percentile of empty sample")
+    if not 0 <= q <= 100:
+        raise ValueError("q must be within [0, 100]")
+    s = sorted(xs)
+    if len(s) == 1:
+        return s[0]
+    pos = (len(s) - 1) * q / 100.0
+    lo = math.floor(pos)
+    hi = math.ceil(pos)
+    frac = pos - lo
+    value = s[lo] * (1 - frac) + s[hi] * frac
+    # Interpolation arithmetic can escape [s[lo], s[hi]] by a few ulps for
+    # large magnitudes; clamp so the result is always a valid percentile.
+    return min(max(value, s[lo]), s[hi])
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """Summary of a latency sample."""
+
+    count: int
+    mean: float
+    std: float
+    p50: float
+    p95: float
+    min: float
+    max: float
+
+    @property
+    def sem(self) -> float:
+        """Standard error of the mean (0 for singleton samples)."""
+        if self.count < 2:
+            return 0.0
+        # population std recorded; use the n-1 correction for the SEM
+        return self.std * math.sqrt(self.count / (self.count - 1)) / math.sqrt(
+            self.count
+        )
+
+    @property
+    def ci95_halfwidth(self) -> float:
+        """Half-width of a normal-approximation 95% confidence interval.
+
+        The experiment harness averages over independent topology/draw
+        samples; with the profile sizes used (>= 4 samples) the normal
+        approximation is the conventional reporting choice.
+        """
+        return 1.96 * self.sem
+
+    def __str__(self) -> str:
+        return (
+            f"n={self.count} mean={self.mean:.1f}+-{self.ci95_halfwidth:.1f} "
+            f"p50={self.p50:.1f} p95={self.p95:.1f} max={self.max:.1f}"
+        )
+
+
+def summarize(xs: list[float]) -> LatencySummary:
+    """Summarise a non-empty latency sample."""
+    m = mean(xs)
+    var = sum((x - m) ** 2 for x in xs) / len(xs)
+    return LatencySummary(
+        count=len(xs),
+        mean=m,
+        std=math.sqrt(var),
+        p50=percentile(xs, 50),
+        p95=percentile(xs, 95),
+        min=min(xs),
+        max=max(xs),
+    )

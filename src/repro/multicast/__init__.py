@@ -1,0 +1,50 @@
+"""The four multicast schemes compared in the paper (systems S9-S12).
+
+* :class:`UnicastBinomialScheme` -- the classical multi-phase software
+  multicast over unicast messages (Section 3.1 baseline).
+* :class:`NIKBinomialScheme` -- NI-based multicast over a k-binomial tree
+  with FPFS smart-NI forwarding (Section 3.2.1).
+* :class:`TreeWormScheme` -- switch-based single-phase multicast with one
+  bit-string-encoded multidestination worm (Section 3.2.3).
+* :class:`PathWormScheme` -- switch-based multi-drop path-based multicast
+  with MDP-LG worm selection and multi-phase scheduling (Section 3.2.4).
+"""
+
+from repro.multicast.base import MulticastResult, MulticastScheme
+from repro.multicast.binomial import UnicastBinomialScheme, build_binomial_tree
+from repro.multicast.kbinomial import NIKBinomialScheme, build_k_binomial_tree
+from repro.multicast.treeworm import TreeWormScheme, plan_tree_worm
+from repro.multicast.pathworm import PathWormScheme, plan_path_worms
+
+SCHEMES = {
+    "binomial": UnicastBinomialScheme,
+    "ni": NIKBinomialScheme,
+    "tree": TreeWormScheme,
+    "path": PathWormScheme,
+}
+"""Registry of scheme name -> class, as used by the experiment harness."""
+
+
+def make_scheme(name: str, **kw) -> MulticastScheme:
+    """Instantiate a scheme by registry name."""
+    try:
+        cls = SCHEMES[name]
+    except KeyError:
+        raise ValueError(f"unknown scheme {name!r}; choose from {sorted(SCHEMES)}")
+    return cls(**kw)
+
+
+__all__ = [
+    "MulticastResult",
+    "MulticastScheme",
+    "UnicastBinomialScheme",
+    "NIKBinomialScheme",
+    "TreeWormScheme",
+    "PathWormScheme",
+    "build_binomial_tree",
+    "build_k_binomial_tree",
+    "plan_tree_worm",
+    "plan_path_worms",
+    "SCHEMES",
+    "make_scheme",
+]

@@ -1,0 +1,119 @@
+"""Common interface and result record for multicast schemes."""
+
+from __future__ import annotations
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.sim.network import SimNetwork
+
+
+@dataclass
+class MulticastResult:
+    """Outcome of one multicast operation.
+
+    ``delivery_times[d]`` is the time destination ``d``'s *host* received the
+    complete message (after its receive software overhead) -- the paper's
+    completion criterion.  ``latency`` is the multicast latency: last host
+    delivery minus operation start.
+    """
+
+    source: int
+    dests: tuple[int, ...]
+    start_time: float
+    delivery_times: dict[int, float] = field(default_factory=dict)
+    complete_time: float | None = None
+    dest_hook: "Callable[[int, float], None] | None" = None
+    """Optional observer fired on every per-destination host delivery
+    (used e.g. by ack-collecting collectives)."""
+
+    @property
+    def complete(self) -> bool:
+        """All destinations have received the message at the host."""
+        return self.complete_time is not None
+
+    @property
+    def latency(self) -> float:
+        """Multicast latency (raises if the operation has not finished)."""
+        if self.complete_time is None:
+            raise RuntimeError("multicast not complete")
+        return self.complete_time - self.start_time
+
+    def dest_latency(self, dest: int) -> float:
+        """Latency to one destination."""
+        return self.delivery_times[dest] - self.start_time
+
+    def _record(self, dest: int, time: float,
+                on_complete: Callable[["MulticastResult"], None] | None) -> None:
+        if dest in self.delivery_times:
+            raise RuntimeError(f"destination {dest} delivered twice")
+        if dest not in self.dests:
+            raise RuntimeError(f"{dest} is not a destination of this multicast")
+        self.delivery_times[dest] = time
+        if self.dest_hook is not None:
+            self.dest_hook(dest, time)
+        if len(self.delivery_times) == len(self.dests):
+            self.complete_time = time
+            if on_complete is not None:
+                on_complete(self)
+
+
+class MulticastScheme(abc.ABC):
+    """A multicast implementation: plans statically, executes on a network.
+
+    Subclasses keep no per-operation state; many concurrent operations can
+    run through one scheme instance (the load experiments do exactly that).
+
+    Plan caching: every scheme's static planning (trees, worm routes, phase
+    schedules) is a pure function of (network, source, destination set).
+    :meth:`enable_plan_cache` memoises those computations per network --
+    semantically invisible (plans are deterministic) but a large speed-up
+    for load experiments that re-issue the same groups.
+    """
+
+    name: str = "abstract"
+
+    def enable_plan_cache(self) -> None:
+        """Turn on plan memoisation for this scheme instance."""
+        self._plan_cache: dict = {}
+
+    def _cached_plan(self, net: SimNetwork, key: tuple, compute):
+        """Memoise ``compute()`` under (network, key) if caching is on."""
+        cache = getattr(self, "_plan_cache", None)
+        if cache is None:
+            return compute()
+        full_key = (id(net), key)
+        if full_key not in cache:
+            cache[full_key] = compute()
+        return cache[full_key]
+
+    @abc.abstractmethod
+    def execute(
+        self,
+        net: SimNetwork,
+        source: int,
+        dests: list[int],
+        on_complete: Callable[[MulticastResult], None] | None = None,
+    ) -> MulticastResult:
+        """Begin one multicast at the engine's current time.
+
+        Returns the (initially incomplete) result record; the simulation must
+        be run for it to fill in.
+        """
+
+    def _new_result(self, net: SimNetwork, source: int,
+                    dests: list[int]) -> MulticastResult:
+        dset = tuple(dict.fromkeys(dests))
+        if source in dset:
+            raise ValueError("source must not be one of the destinations")
+        if len(dset) != len(dests):
+            raise ValueError("duplicate destinations")
+        if not dset:
+            raise ValueError("multicast needs at least one destination")
+        for d in (source, *dset):
+            if not 0 <= d < net.topo.num_nodes:
+                raise ValueError(f"node {d} out of range")
+        return MulticastResult(source, dset, net.engine.now)

@@ -1,0 +1,38 @@
+"""Destination ordering heuristics for software multicast trees.
+
+The paper's NI-based scheme uses k-binomial trees "with minimized contention
+on irregular switch-based networks" (Kesavan et al.).  The key property of
+that construction is *clustering*: destinations attached to the same or
+nearby switches end up in the same subtree, so subtree traffic stays inside a
+region of the network instead of criss-crossing it; and *far-first* sending:
+the subtrees informed earliest are the ones with the longest way to go.
+
+We reproduce both properties with a simple ordering: destinations are grouped
+by attached switch, groups sorted by routing distance from the source switch
+(farthest first), and the recursive-halving tree construction then keeps
+consecutive runs of the list -- i.e. whole clusters -- inside single
+subtrees.
+"""
+
+from __future__ import annotations
+
+from repro.routing.updown import UpDownRouting
+from repro.topology.graph import NetworkTopology
+
+
+def contention_aware_order(
+    topo: NetworkTopology, routing: UpDownRouting, source: int, dests: list[int]
+) -> list[int]:
+    """Order destinations far-cluster-first for tree construction."""
+    src_switch = topo.switch_of_node(source)
+    groups: dict[int, list[int]] = {}
+    for d in dests:
+        groups.setdefault(topo.switch_of_node(d), []).append(d)
+    ordered_switches = sorted(
+        groups,
+        key=lambda s: (-routing.distance(src_switch, s), s),
+    )
+    out: list[int] = []
+    for s in ordered_switches:
+        out.extend(sorted(groups[s]))
+    return out

@@ -1,0 +1,339 @@
+"""Multi-drop path-based multicast with MDP-LG scheduling (system S12).
+
+The second switch-supported scheme the paper studies (Kesavan & Panda,
+PCRCW'97): a *multi-drop path-based* worm follows a single legal up*/down*
+path; at every switch along the path it may replicate to the ports of
+attached destination nodes and to at most one further switch port.  Because
+one path rarely strings together every destination's switch, an arbitrary
+multicast needs several worms, organised in *phases*: destinations covered in
+phase ``p`` act as secondary sources in phase ``p+1`` (recursive doubling of
+the sender pool), and each phase's worms are chosen to cover as many
+still-uncovered destinations as possible.
+
+The paper uses the **MDP-LG** ("Multi-Drop Path-based Less Greedy")
+algorithm.  The original pseudo-code is not in the (OCR-degraded) text, so we
+reconstruct it from its description -- "finds a small number of multi worms
+to cover the set and decides how to send these worms in multiple phases so
+as to reduce contention":
+
+* **worm search** (:func:`best_single_worm`): a multi-drop worm "uses almost
+  exactly the same path followed by a unicast worm from a source to one of
+  its destinations" (Section 3.2.4), so the candidate set is every *minimal
+  legal path* from the sender to each still-uncovered destination; a
+  candidate covers every uncovered destination attached to a switch it
+  crosses.
+* **greedy vs. less-greedy selection**: plain greedy maximises (coverage,
+  -path length).  The *less greedy* variant, used by default, additionally
+  prefers -- among candidates of equal coverage -- paths that reach the
+  farthest destinations, leaving nearby destinations (cheap for any later
+  secondary source) to subsequent phases; this balances phase load, which is
+  how the LG variant earns its name.
+* **phase schedule**: "worms are transmitted in multiple phases with the
+  destinations in a phase acting as secondary sources in succeeding phases",
+  and "a phase finishes only when all the packets of the message arrive at an
+  intermediate destination: only then can the node initiate the ... worm of
+  the next phase" (Section 4.2.3).  We therefore assign *at most one worm per
+  sender*: phase 1 is the source's worm; every destination covered so far is
+  an eligible sender for the next phase.  The phase boundary then needs no
+  global barrier -- it is exactly the local "I have the whole message"
+  dependency at each secondary source.
+
+Interior destinations use the *conventional* NI path (full host receive,
+then host send) -- the paper explicitly withholds smart-NI support from the
+switch-based schemes to keep the comparison clean.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.multicast.base import MulticastResult, MulticastScheme
+from repro.routing.paths import is_legal_path, path_switches
+from repro.routing.updown import Phase, UpDownRouting
+from repro.sim.messaging import HostReceiver, host_send
+from repro.sim.network import SimNetwork
+from repro.sim.worm import Deliver, Forward
+from repro.topology.graph import SwitchLink
+
+
+@dataclass(frozen=True)
+class PathWormPlan:
+    """One multi-drop worm: its link path and per-position drop lists."""
+
+    sender: int
+    switch_path: tuple[int, ...]
+    links: tuple[SwitchLink, ...]
+    drops: tuple[tuple[int, ...], ...]
+    """``drops[i]`` = nodes dropped at ``switch_path[i]`` (a path may cross
+    the same switch twice -- once climbing, once descending -- so drops are
+    keyed by path position, not by switch)."""
+
+    @property
+    def covered(self) -> frozenset[int]:
+        return frozenset(n for nodes in self.drops for n in nodes)
+
+    @property
+    def deepest_drop(self) -> int:
+        """The first destination dropped at the last dropping position (the
+        worm's secondary-source representative)."""
+        for nodes in reversed(self.drops):
+            if nodes:
+                return nodes[0]
+        raise ValueError("worm drops nothing")
+
+
+@dataclass(frozen=True)
+class MulticastPathPlan:
+    """Full MDP plan: worms grouped by phase, in send order per sender."""
+
+    phases: tuple[tuple[PathWormPlan, ...], ...]
+
+    @property
+    def worms(self) -> list[PathWormPlan]:
+        return [w for ph in self.phases for w in ph]
+
+    @property
+    def num_phases(self) -> int:
+        return len(self.phases)
+
+
+# ----------------------------------------------------------------------
+# Worm search
+# ----------------------------------------------------------------------
+MAX_PATHS_PER_DEST = 24
+"""Cap on minimal-path enumeration per anchor destination (the paper's
+networks have few parallel minimal routes; the cap guards degenerate
+topologies)."""
+
+
+def _minimal_paths(
+    rt: UpDownRouting, src_switch: int, dst_switch: int
+) -> list[list[SwitchLink]]:
+    """Up to MAX_PATHS_PER_DEST minimal legal link paths between switches."""
+    results: list[list[SwitchLink]] = []
+
+    def walk(here: int, phase, acc: list[SwitchLink]) -> bool:
+        if here == dst_switch:
+            results.append(list(acc))
+            return len(results) < MAX_PATHS_PER_DEST
+        for hop in rt.next_hops(here, phase, dst_switch):
+            acc.append(hop.link)
+            keep_going = walk(hop.to_switch, hop.next_phase, acc)
+            acc.pop()
+            if not keep_going:
+                return False
+        return True
+
+    walk(src_switch, Phase.UP, [])
+    return results
+
+
+def best_single_worm(
+    net: SimNetwork,
+    sender: int,
+    remaining: frozenset[int],
+    strategy: str = "lg",
+) -> PathWormPlan:
+    """Find the best multi-drop worm from ``sender`` over ``remaining``.
+
+    Candidates are minimal legal unicast paths from the sender's switch to
+    each uncovered destination's switch (the worm "uses almost exactly the
+    same path followed by a unicast worm ... to one of its destinations");
+    each candidate covers all uncovered destinations on switches it crosses.
+    Selection keys: greedy maximises (coverage, -length); the less-greedy
+    default additionally prefers anchoring on *far* destinations, leaving
+    near ones (cheap for any later secondary source) to later phases.
+    """
+    if not remaining:
+        raise ValueError("no destinations remaining")
+    if strategy not in ("lg", "greedy"):
+        raise ValueError(f"unknown strategy {strategy!r}")
+    topo, rt = net.topo, net.routing
+    start = topo.switch_of_node(sender)
+    dest_by_switch: dict[int, list[int]] = {}
+    for d in sorted(remaining):
+        dest_by_switch.setdefault(topo.switch_of_node(d), []).append(d)
+
+    best_key: tuple | None = None
+    best_path: list[SwitchLink] | None = None
+    for anchor_switch in sorted(dest_by_switch):
+        for links in _minimal_paths(rt, start, anchor_switch):
+            switches = path_switches(start, links)
+            coverage = sum(
+                len(dest_by_switch.get(s, ()))
+                for s in dict.fromkeys(switches)
+            )
+            far = rt.distance(start, anchor_switch)
+            if strategy == "lg":
+                key = (coverage, far, -len(links))
+            else:
+                key = (coverage, -len(links), far)
+            if best_key is None or key > best_key:
+                best_key = key
+                best_path = links
+    assert best_path is not None and best_key is not None
+    full = path_switches(start, best_path)
+
+    # Per-position drops (each destination dropped at its first chance), and
+    # trim trailing switches past the last drop (they would carry nothing).
+    covered: set[int] = set()
+    drops: list[tuple[int, ...]] = []
+    last_useful = 0
+    for i, s in enumerate(full):
+        here = tuple(d for d in dest_by_switch.get(s, []) if d not in covered)
+        drops.append(here)
+        if here:
+            covered.update(here)
+            last_useful = i
+    full = full[: last_useful + 1]
+    drops = drops[: last_useful + 1]
+    links = list(best_path[:last_useful])
+    if not is_legal_path(rt, full[0], links):
+        raise AssertionError("constructed worm path violates up*/down*")
+    return PathWormPlan(
+        sender=sender,
+        switch_path=tuple(full),
+        links=tuple(links),
+        drops=tuple(drops),
+    )
+
+
+# ----------------------------------------------------------------------
+# Phase scheduling
+# ----------------------------------------------------------------------
+def plan_path_worms(
+    net: SimNetwork,
+    source: int,
+    dests: list[int],
+    strategy: str = "lg",
+) -> MulticastPathPlan:
+    """The MDP-LG (or MDP-G) multi-phase worm schedule.
+
+    One worm per sender, recursive doubling of the sender pool: phase 1 is
+    the source's single worm; every destination covered in phases ``<= p``
+    that has not yet sent is eligible to send one worm in phase ``p + 1``.
+    """
+    remaining = frozenset(dests)
+    available: list[int] = [source]
+    used: set[int] = set()
+    phases: list[tuple[PathWormPlan, ...]] = []
+    while remaining:
+        phase: list[PathWormPlan] = []
+        covered_this_phase: list[int] = []
+        for s in available:
+            if s in used:
+                continue
+            if not remaining:
+                break
+            worm = best_single_worm(net, s, remaining, strategy=strategy)
+            used.add(s)
+            remaining = remaining - worm.covered
+            phase.append(worm)
+            # Deterministic sender-pool order: deepest drop first (it is
+            # farthest out, diversifying the next phase's send locations).
+            covered_this_phase.append(worm.deepest_drop)
+            covered_this_phase.extend(
+                d for d in sorted(worm.covered) if d != worm.deepest_drop
+            )
+        if not phase:
+            raise AssertionError("no eligible sender despite remaining dests")
+        available = available + covered_this_phase
+        phases.append(tuple(phase))
+    return MulticastPathPlan(phases=tuple(phases))
+
+
+# ----------------------------------------------------------------------
+# Execution
+# ----------------------------------------------------------------------
+class PathWormScheme(MulticastScheme):
+    """Multi-phase multi-drop path-based multicast (MDP-LG by default)."""
+
+    name = "path"
+
+    def __init__(self, strategy: str = "lg") -> None:
+        if strategy not in ("lg", "greedy"):
+            raise ValueError("strategy must be 'lg' or 'greedy'")
+        self.strategy = strategy
+
+    def plan(self, net: SimNetwork, source: int,
+             dests: list[int]) -> MulticastPathPlan:
+        """The worm/phase plan (exposed for tests)."""
+        return plan_path_worms(net, source, dests, strategy=self.strategy)
+
+    def make_steer(self, net: SimNetwork, worm_plan: PathWormPlan) -> Callable:
+        """Steer function walking the planned path and dropping copies.
+
+        Worm state is the index into the switch path.
+        """
+        fab = net.fabric
+
+        def steer(switch: int, state):
+            idx: int = state
+            assert worm_plan.switch_path[idx] == switch
+            instrs = [
+                Deliver(fab.deliver[n]) for n in worm_plan.drops[idx]
+            ]
+            if idx + 1 < len(worm_plan.switch_path):
+                ch = fab.forward_channel(worm_plan.links[idx], switch)
+                instrs.append(Forward([(ch, idx + 1)]))
+            return instrs
+
+        return steer
+
+    def execute(
+        self,
+        net: SimNetwork,
+        source: int,
+        dests: list[int],
+        on_complete: Callable[[MulticastResult], None] | None = None,
+    ) -> MulticastResult:
+        result = self._new_result(net, source, dests)
+        plan = self._cached_plan(
+            net,
+            ("mdp", source, result.dests),
+            lambda: self.plan(net, source, list(result.dests)),
+        )
+        m = net.params.message_packets
+
+        # Worm send-lists per sender, in phase order.
+        sends: dict[int, list[PathWormPlan]] = {}
+        for phase in plan.phases:
+            for worm_plan in phase:
+                sends.setdefault(worm_plan.sender, []).append(worm_plan)
+
+        receivers: dict[int, HostReceiver] = {}
+
+        def on_host_delivery(node: int, time: float) -> None:
+            result._record(node, time, on_complete)
+            start_sends(node)
+
+        for d in result.dests:
+            receivers[d] = HostReceiver(
+                net.hosts[d], m,
+                on_delivered=lambda t, n=d: on_host_delivery(n, t),
+            )
+
+        def start_sends(node: int) -> None:
+            for worm_plan in sends.get(node, ()):  # in phase order
+                steer = self.make_steer(net, worm_plan)
+
+                def make_launcher(wp=worm_plan, st=steer) -> Callable[[], None]:
+                    def launch() -> None:
+                        net.hosts[wp.sender].launch_worm(
+                            st,
+                            initial_state=0,
+                            on_delivered=lambda n, _t: receivers[
+                                n
+                            ].packet_arrived(),
+                            label=f"path:{wp.sender}",
+                        )
+
+                    return launch
+
+                host_send(
+                    net.hosts[node], [make_launcher() for _ in range(m)]
+                )
+
+        start_sends(source)
+        return result

@@ -1,0 +1,28 @@
+"""Deadlock-free up*/down* routing on irregular networks (systems S2-S4).
+
+Implements the Autonet routing scheme the paper assumes: a breadth-first
+spanning tree rooted deterministically, a loop-free up/down orientation of
+every link, legal-route computation under the up*/down* rule, and the
+per-port reachability sets ("reachability strings") that the tree-based
+multicast scheme's switches consult.
+"""
+
+from repro.routing.bfs_tree import BfsTree, build_bfs_tree
+from repro.routing.updown import UpDownRouting, Phase
+from repro.routing.reachability import ReachabilityTable
+from repro.routing.paths import (
+    all_minimal_paths,
+    is_legal_path,
+    shortest_path_links,
+)
+
+__all__ = [
+    "BfsTree",
+    "build_bfs_tree",
+    "UpDownRouting",
+    "Phase",
+    "ReachabilityTable",
+    "all_minimal_paths",
+    "is_legal_path",
+    "shortest_path_links",
+]

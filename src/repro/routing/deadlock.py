@@ -1,0 +1,168 @@
+"""Channel-dependency-graph deadlock-freedom verification.
+
+The paper leans on the classical result that up*/down* routing is
+deadlock-free because "the directed links do not form loops" once every
+route is an up* prefix followed by a down* suffix.  This module makes that
+argument checkable: it builds the full channel dependency graph (CDG) of a
+topology under a routing relation -- injection channels, both directions of
+every switch link, and delivery channels -- and verifies it is acyclic
+(Dally & Seitz).  Multidestination worms add no new dependency *kinds*
+beyond "input channel held while an output channel is requested", so the
+same CDG covers the tree- and path-based multicast schemes as well.
+
+A permissive "any minimal path" routing relation is included as a negative
+control: on cyclic topologies it produces cyclic CDGs, which the test-suite
+uses to show the checker actually detects deadlock potential.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.routing.updown import Phase, UpDownRouting
+from repro.topology.graph import NetworkTopology
+
+ChannelKey = tuple
+"""('inj', node) | ('fwd', link_id, from_switch) | ('del', node)"""
+
+
+class DeadlockCycleError(Exception):
+    """Raised when the channel dependency graph contains a cycle."""
+
+    def __init__(self, cycle: list[ChannelKey]) -> None:
+        self.cycle = cycle
+        super().__init__(f"cyclic channel dependency: {' -> '.join(map(str, cycle))}")
+
+
+@dataclass(frozen=True)
+class _ArrivalState:
+    """A channel entering a switch together with the packet phase there."""
+
+    switch: int
+    phase: Phase
+
+
+def _arrival_state(
+    rt: UpDownRouting, topo: NetworkTopology, chan: ChannelKey
+) -> _ArrivalState | None:
+    kind = chan[0]
+    if kind == "inj":
+        return _ArrivalState(topo.switch_of_node(chan[1]), Phase.UP)
+    if kind == "fwd":
+        link = next(lk for lk in topo.links if lk.link_id == chan[1])
+        frm = chan[2]
+        to = link.other_end(frm).switch
+        return _ArrivalState(to, rt.traversal_phase(link, frm))
+    return None  # delivery channels terminate at a node: no dependencies
+
+
+def build_channel_dependency_graph(
+    topo: NetworkTopology, rt: UpDownRouting
+) -> dict[ChannelKey, set[ChannelKey]]:
+    """All (held channel -> requested channel) edges under up*/down* routing.
+
+    An edge exists when some packet, having crossed the first channel, may
+    request the second at the switch between them -- over every destination
+    and every minimal-route candidate (adaptive routing's full choice set).
+    """
+    channels: list[ChannelKey] = (
+        [("inj", n) for n in range(topo.num_nodes)]
+        + [("del", n) for n in range(topo.num_nodes)]
+        + [
+            ("fwd", lk.link_id, frm)
+            for lk in topo.links
+            for frm in (lk.a.switch, lk.b.switch)
+        ]
+    )
+    deps: dict[ChannelKey, set[ChannelKey]] = {c: set() for c in channels}
+    for chan in channels:
+        state = _arrival_state(rt, topo, chan)
+        if state is None:
+            continue
+        s, phase = state.switch, state.phase
+        for dest_node in range(topo.num_nodes):
+            dest_switch = topo.switch_of_node(dest_node)
+            if dest_switch == s:
+                deps[chan].add(("del", dest_node))
+                continue
+            if not rt.reachable(s, phase, dest_switch):
+                continue
+            for hop in rt.next_hops(s, phase, dest_switch):
+                deps[chan].add(("fwd", hop.link.link_id, s))
+    return deps
+
+
+def find_cycle(deps: dict[ChannelKey, set[ChannelKey]]) -> list[ChannelKey] | None:
+    """Return one dependency cycle, or None if the graph is acyclic."""
+    WHITE, GREY, BLACK = 0, 1, 2
+    colour = {c: WHITE for c in deps}
+    stack: list[ChannelKey] = []
+
+    def dfs(c: ChannelKey) -> list[ChannelKey] | None:
+        colour[c] = GREY
+        stack.append(c)
+        for nxt in deps[c]:
+            if colour[nxt] == GREY:
+                return stack[stack.index(nxt):] + [nxt]
+            if colour[nxt] == WHITE:
+                found = dfs(nxt)
+                if found:
+                    return found
+        colour[c] = BLACK
+        stack.pop()
+        return None
+
+    for c in deps:
+        if colour[c] == WHITE:
+            found = dfs(c)
+            if found:
+                return found
+    return None
+
+
+def verify_deadlock_free(topo: NetworkTopology, rt: UpDownRouting) -> None:
+    """Raise :class:`DeadlockCycleError` if the CDG has a cycle."""
+    cycle = find_cycle(build_channel_dependency_graph(topo, rt))
+    if cycle is not None:
+        raise DeadlockCycleError(cycle)
+
+
+def build_unrestricted_cdg(topo: NetworkTopology) -> dict[ChannelKey, set[ChannelKey]]:
+    """Negative control: minimal-path routing with *no* up/down restriction.
+
+    Every channel entering a switch may request any outgoing link channel on
+    a shortest path (plain BFS distances) to any destination.  On topologies
+    with cycles this CDG is cyclic -- the deadlock the up*/down* rule exists
+    to prevent.
+    """
+    from repro.topology.analysis import switch_distances
+
+    dist = [switch_distances(topo, s) for s in range(topo.num_switches)]
+    channels: list[ChannelKey] = (
+        [("inj", n) for n in range(topo.num_nodes)]
+        + [("del", n) for n in range(topo.num_nodes)]
+        + [
+            ("fwd", lk.link_id, frm)
+            for lk in topo.links
+            for frm in (lk.a.switch, lk.b.switch)
+        ]
+    )
+    deps: dict[ChannelKey, set[ChannelKey]] = {c: set() for c in channels}
+    for chan in channels:
+        if chan[0] == "del":
+            continue
+        if chan[0] == "inj":
+            s = topo.switch_of_node(chan[1])
+        else:
+            link = next(lk for lk in topo.links if lk.link_id == chan[1])
+            s = link.other_end(chan[2]).switch
+        for dest_node in range(topo.num_nodes):
+            dest_switch = topo.switch_of_node(dest_node)
+            if dest_switch == s:
+                deps[chan].add(("del", dest_node))
+                continue
+            for lk in topo.links_of(s):
+                t = lk.other_end(s).switch
+                if dist[t][dest_switch] == dist[s][dest_switch] - 1:
+                    deps[chan].add(("fwd", lk.link_id, s))
+    return deps

@@ -1,0 +1,92 @@
+"""Explicit legal-path construction and validation helpers.
+
+The simulator mostly routes hop by hop through :class:`UpDownRouting`, but
+the path-based multicast scheme needs whole paths materialised up front, and
+the test-suite wants to enumerate and validate routes.  Those utilities live
+here.
+"""
+
+from __future__ import annotations
+
+from repro.routing.updown import Phase, UpDownRouting
+from repro.topology.graph import SwitchLink
+
+
+def shortest_path_links(
+    rt: UpDownRouting, src_switch: int, dst_switch: int
+) -> list[SwitchLink]:
+    """One minimal legal path as a link sequence (deterministic choice).
+
+    Ties between equally short continuations break toward the lowest
+    (neighbour switch id, link id), making the result reproducible.
+    """
+    path: list[SwitchLink] = []
+    here, phase = src_switch, Phase.UP
+    while here != dst_switch:
+        hops = rt.next_hops(here, phase, dst_switch)
+        if not hops:
+            raise AssertionError("routing table returned no hop before arrival")
+        best = min(hops, key=lambda h: (h.to_switch, h.link.link_id))
+        path.append(best.link)
+        here, phase = best.to_switch, best.next_phase
+    return path
+
+
+def all_minimal_paths(
+    rt: UpDownRouting, src_switch: int, dst_switch: int, limit: int = 1000
+) -> list[list[SwitchLink]]:
+    """Enumerate every minimal legal path (bounded by ``limit``).
+
+    Mainly for tests and for the path-worm coverage search on the paper's
+    small networks; raises ``ValueError`` when truncation would occur so a
+    caller never silently works with a partial enumeration.
+    """
+    results: list[list[SwitchLink]] = []
+
+    def walk(here: int, phase: Phase, acc: list[SwitchLink]) -> None:
+        if here == dst_switch:
+            results.append(list(acc))
+            if len(results) > limit:
+                raise ValueError("minimal path enumeration exceeded limit")
+            return
+        for hop in rt.next_hops(here, phase, dst_switch):
+            acc.append(hop.link)
+            walk(hop.to_switch, hop.next_phase, acc)
+            acc.pop()
+
+    walk(src_switch, Phase.UP, [])
+    return results
+
+
+def is_legal_path(
+    rt: UpDownRouting, src_switch: int, links: list[SwitchLink]
+) -> bool:
+    """Validate a link sequence against the up*/down* rule.
+
+    Checks contiguity (each link leaves the switch the previous one entered)
+    and the no-up-after-down rule.
+    """
+    here = src_switch
+    gone_down = False
+    for lk in links:
+        try:
+            lk.end_on(here)
+        except ValueError:
+            return False
+        up = rt.is_up_traversal(lk, here)
+        if up and gone_down:
+            return False
+        if not up:
+            gone_down = True
+        here = lk.other_end(here).switch
+    return True
+
+
+def path_switches(src_switch: int, links: list[SwitchLink]) -> list[int]:
+    """The switch sequence visited by a path, including the start."""
+    seq = [src_switch]
+    here = src_switch
+    for lk in links:
+        here = lk.other_end(here).switch
+        seq.append(here)
+    return seq

@@ -1,0 +1,211 @@
+"""Up*/down* routing (Autonet) on an irregular switch graph.
+
+Every link gets an *up* end: (1) the end whose switch is closer to the BFS
+root, or (2) the end with the lower switch id when both ends are at the same
+level.  A legal route traverses zero or more links in the up direction
+followed by zero or more links in the down direction -- a packet may never go
+up after having gone down.  Because the directed "up" links form a DAG, the
+rule is deadlock-free.
+
+This module computes, for every (switch, routing phase, destination switch)
+triple, the set of next hops that lie on a *minimal* legal route, which is
+what both the adaptive and the deterministic routing policies consult.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.routing.bfs_tree import BfsTree, build_bfs_tree
+from repro.topology.graph import NetworkTopology, SwitchLink
+
+
+class Phase(enum.Enum):
+    """Routing phase of a packet under the up*/down* rule."""
+
+    UP = 0
+    """The packet has only traversed up links so far (may still turn down)."""
+
+    DOWN = 1
+    """The packet has traversed a down link (must keep going down)."""
+
+
+@dataclass(frozen=True)
+class Hop:
+    """One candidate next hop on a minimal legal route."""
+
+    link: SwitchLink
+    to_switch: int
+    next_phase: Phase
+
+
+@dataclass
+class UpDownRouting:
+    """Routing tables for the up*/down* scheme.
+
+    Build one per topology via :meth:`build`; all queries are O(1) lookups.
+    """
+
+    topo: NetworkTopology
+    tree: BfsTree
+    _up_end: dict[int, int] = field(default_factory=dict, repr=False)
+    _dist: list[dict[tuple[int, Phase], int]] = field(default_factory=list, repr=False)
+    _hops: list[dict[tuple[int, Phase], tuple[Hop, ...]]] = field(
+        default_factory=list, repr=False
+    )
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls, topo: NetworkTopology, root: int = 0, orientation: str = "bfs"
+    ) -> "UpDownRouting":
+        """Compute the orientation and all-pairs minimal-route tables.
+
+        ``orientation`` selects the spanning structure the up/down rule is
+        anchored to: ``"bfs"`` is the paper's Autonet rule (closer to the
+        BFS root = up; ties by id); ``"dfs"`` uses DFS preorder labels
+        (see :mod:`repro.routing.dfs_tree`).
+        """
+        tree = build_bfs_tree(topo, root=root)
+        rt = cls(topo=topo, tree=tree)
+        if orientation == "bfs":
+            for lk in topo.links:
+                rt._up_end[lk.link_id] = rt._bfs_up_end(lk)
+        elif orientation == "dfs":
+            from repro.routing.dfs_tree import dfs_preorder_labels
+
+            labels = dfs_preorder_labels(topo, root=root)
+            for lk in topo.links:
+                rt._up_end[lk.link_id] = (
+                    lk.a.switch
+                    if labels[lk.a.switch] < labels[lk.b.switch]
+                    else lk.b.switch
+                )
+        else:
+            raise ValueError(f"unknown orientation {orientation!r}")
+        rt._compute_tables()
+        return rt
+
+    def _bfs_up_end(self, link: SwitchLink) -> int:
+        la, lb = self.tree.level[link.a.switch], self.tree.level[link.b.switch]
+        if la != lb:
+            return link.a.switch if la < lb else link.b.switch
+        return min(link.a.switch, link.b.switch)
+
+    # ------------------------------------------------------------------
+    # Orientation queries
+    # ------------------------------------------------------------------
+    def up_end_switch(self, link: SwitchLink) -> int:
+        """The switch at the *up* end of ``link``."""
+        return self._up_end[link.link_id]
+
+    def is_up_traversal(self, link: SwitchLink, from_switch: int) -> bool:
+        """True when crossing ``link`` out of ``from_switch`` goes *up*."""
+        return self._up_end[link.link_id] != from_switch
+
+    def traversal_phase(self, link: SwitchLink, from_switch: int) -> Phase:
+        """Phase a packet is in *after* crossing ``link`` from ``from_switch``."""
+        return Phase.UP if self.is_up_traversal(link, from_switch) else Phase.DOWN
+
+    def down_links_of(self, switch: int) -> list[SwitchLink]:
+        """Links whose traversal out of ``switch`` goes down (toward leaves)."""
+        return [
+            lk for lk in self.topo.links_of(switch) if not self.is_up_traversal(lk, switch)
+        ]
+
+    def up_links_of(self, switch: int) -> list[SwitchLink]:
+        """Links whose traversal out of ``switch`` goes up (toward the root)."""
+        return [
+            lk for lk in self.topo.links_of(switch) if self.is_up_traversal(lk, switch)
+        ]
+
+    # ------------------------------------------------------------------
+    # Minimal-route tables
+    # ------------------------------------------------------------------
+    def _legal_transitions(self, switch: int, phase: Phase) -> list[tuple[SwitchLink, int, Phase]]:
+        """All (link, neighbour, next phase) moves legal from a state."""
+        out: list[tuple[SwitchLink, int, Phase]] = []
+        for lk in self.topo.links_of(switch):
+            t = lk.other_end(switch).switch
+            if self.is_up_traversal(lk, switch):
+                if phase is Phase.UP:
+                    out.append((lk, t, Phase.UP))
+            else:
+                out.append((lk, t, Phase.DOWN))
+        return out
+
+    def _compute_tables(self) -> None:
+        """All-pairs BFS over the (switch, phase) state graph, per destination."""
+        S = self.topo.num_switches
+        self._dist = [dict() for _ in range(S)]
+        self._hops = [dict() for _ in range(S)]
+        # Forward BFS from every start state is O(S * states * edges); with the
+        # paper's scales (<= 32 switches) this is negligible, and it keeps the
+        # code obviously correct (cf. the optimization guide: make it work and
+        # tested before making it fast).
+        states = [(s, p) for s in range(S) for p in (Phase.UP, Phase.DOWN)]
+        trans = {st: self._legal_transitions(*st) for st in states}
+        for dest in range(S):
+            # Backward BFS from the destination over reversed transitions.
+            dist: dict[tuple[int, Phase], int] = {
+                (dest, Phase.UP): 0,
+                (dest, Phase.DOWN): 0,
+            }
+            frontier = [(dest, Phase.UP), (dest, Phase.DOWN)]
+            # Build a reverse adjacency once per destination on the fly.
+            # (precomputing globally would be marginally faster; clarity wins)
+            rev: dict[tuple[int, Phase], list[tuple[int, Phase]]] = {st: [] for st in states}
+            for st, moves in trans.items():
+                for _lk, t, np_ in moves:
+                    rev[(t, np_)].append(st)
+            d = 0
+            while frontier:
+                d += 1
+                nxt = []
+                for st in frontier:
+                    for pst in rev[st]:
+                        if pst not in dist:
+                            dist[pst] = d
+                            nxt.append(pst)
+                frontier = nxt
+            for s in range(S):
+                for p in (Phase.UP, Phase.DOWN):
+                    st = (s, p)
+                    if st not in dist:
+                        continue
+                    self._dist[dest][st] = dist[st]
+                    if s == dest:
+                        self._hops[dest][st] = ()
+                        continue
+                    hops = tuple(
+                        Hop(lk, t, np_)
+                        for lk, t, np_ in trans[st]
+                        if dist.get((t, np_), -1) == dist[st] - 1
+                    )
+                    self._hops[dest][st] = hops
+
+    def distance(self, src: int, dest: int, phase: Phase = Phase.UP) -> int:
+        """Minimal legal hop count between switches from a given phase.
+
+        Raises:
+            KeyError: if ``dest`` is unreachable from the state (cannot
+                happen for ``Phase.UP`` starts in a connected network).
+        """
+        return self._dist[dest][(src, phase)]
+
+    def next_hops(self, switch: int, phase: Phase, dest: int) -> tuple[Hop, ...]:
+        """Candidate next hops on minimal legal routes toward ``dest``.
+
+        An empty tuple means ``switch == dest`` (already there); a missing
+        state (packet in DOWN phase with no legal continuation) raises
+        ``KeyError`` -- by up*/down* correctness this never occurs for routes
+        produced by this table itself.
+        """
+        return self._hops[dest][(switch, phase)]
+
+    def reachable(self, switch: int, phase: Phase, dest: int) -> bool:
+        """Whether ``dest`` has any legal route from the state at all."""
+        return (switch, phase) in self._dist[dest]

@@ -1,0 +1,26 @@
+"""Discrete-event simulation core (systems S5-S8).
+
+A small, deterministic, callback-based event engine; unit-capacity FIFO
+resources and throughput (DMA) resources; the cut-through switch fabric with
+worm-level flit-exact timing; and the host/network-interface model.
+"""
+
+from repro.sim.engine import Engine
+from repro.sim.resources import FifoResource, ThroughputResource
+from repro.sim.fabric import Channel, Fabric
+from repro.sim.worm import Deliver, Forward, Worm
+from repro.sim.host import Host
+from repro.sim.network import SimNetwork
+
+__all__ = [
+    "Engine",
+    "FifoResource",
+    "ThroughputResource",
+    "Channel",
+    "Fabric",
+    "Worm",
+    "Deliver",
+    "Forward",
+    "Host",
+    "SimNetwork",
+]

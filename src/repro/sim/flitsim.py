@@ -1,0 +1,285 @@
+"""Cycle-accurate flit-level reference simulator (validation backend).
+
+The production simulator (:mod:`repro.sim.worm`) advances packets at *worm*
+granularity with closed-form tail/release times.  This module implements the
+same fabric semantics by brute force -- ticking every cycle and moving
+individual flits through channels and finite input buffers -- and exists
+purely to *validate* the worm-level model: the test-suite runs identical
+scenarios on both backends and compares timings.
+
+Semantics (matching DESIGN.md section 4):
+
+* a channel transmits one flit per cycle; a flit entering at cycle ``t``
+  arrives downstream at ``t + delay``;
+* a channel is owned by one worm branch at a time, FIFO-granted, and becomes
+  free the cycle its owner's tail flit finishes crossing;
+* a head flit arriving at a switch decodes for ``routing_delay`` cycles and
+  then requests this branch's outgoing channels;
+* flit ``m`` may be sent on a channel only when flit ``m - (B+1)`` of the
+  same branch has finished crossing the *next* channel (``B`` = downstream
+  input-buffer capacity) -- the same capacity recurrence the event model
+  uses, so buffered cut-through and wormhole chain-blocking reproduce;
+* at a replication fork, the shared upstream channel may send flit ``m``
+  only when *every* branch satisfies its constraint (a flit is held in the
+  buffer until all branches have consumed it).
+
+Routes are static trees (:class:`FlitRoute`), not adaptive -- validation
+scenarios compare deterministic routing, where both backends must agree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.params import SimParams
+from repro.routing.paths import shortest_path_links
+from repro.routing.updown import UpDownRouting
+from repro.topology.graph import NetworkTopology
+
+ChannelKey = tuple
+"""('inj', node) | ('fwd', link_id, from_switch) | ('del', node)"""
+
+
+@dataclass
+class FlitRoute:
+    """Static route tree: a channel to cross, then subtrees per branch.
+
+    A leaf (no children) must be a delivery channel.
+    """
+
+    channel: ChannelKey
+    children: list["FlitRoute"] = field(default_factory=list)
+
+
+def unicast_route(
+    topo: NetworkTopology, rt: UpDownRouting, src_node: int, dst_node: int
+) -> FlitRoute:
+    """Deterministic minimal-route tree for a unicast packet."""
+    src_sw = topo.switch_of_node(src_node)
+    dst_sw = topo.switch_of_node(dst_node)
+    links = shortest_path_links(rt, src_sw, dst_sw)
+    leaf = FlitRoute(("del", dst_node))
+    node = leaf
+    here = dst_sw
+    for lk in reversed(links):
+        frm = lk.other_end(here).switch
+        node = FlitRoute(("fwd", lk.link_id, frm), [node])
+        here = frm
+    return FlitRoute(("inj", src_node), [node])
+
+
+@dataclass
+class _Branch:
+    """One channel traversal of one worm (a node of its route tree)."""
+
+    worm_id: int
+    route: FlitRoute
+    depth: int = 0
+    children: list["_Branch"] = field(default_factory=list)
+    granted: bool = False
+    requested: bool = False
+    sent: int = 0          # flits sent into the channel
+    crossed: int = 0       # flits that finished crossing
+    finish_times: dict[int, int] = field(default_factory=dict)
+
+    @property
+    def key(self) -> ChannelKey:
+        return self.route.channel
+
+
+class FlitLevelFabric:
+    """The brute-force simulator.  One instance per scenario."""
+
+    def __init__(self, topo: NetworkTopology, params: SimParams) -> None:
+        params.validate()
+        self.topo = topo
+        self.params = params
+        self.L = params.packet_flits
+        self.B = params.input_buffer_flits
+        self.now = 0
+        self._worms: list[dict] = []
+        self._queues: dict[ChannelKey, list[_Branch]] = {}
+        self._owner: dict[ChannelKey, _Branch | None] = {}
+        self._free_at: dict[ChannelKey, int] = {}
+        self._pending_decodes: list[tuple[int, _Branch]] = []
+        self._pending_starts: list[tuple[int, _Branch]] = []
+        self.deliveries: dict[tuple[int, int], int] = {}
+        """(worm_id, node) -> cycle the tail arrived at the NI."""
+
+    # ------------------------------------------------------------------
+    # Channel properties
+    # ------------------------------------------------------------------
+    def _delay(self, key: ChannelKey) -> int:
+        if key[0] == "inj":
+            return self.params.link_delay
+        return self.params.switch_delay + self.params.link_delay
+
+    def _buffer_of(self, key: ChannelKey) -> int:
+        """Capacity of the buffer this channel feeds."""
+        if key[0] == "del":
+            return 1 << 30  # NI sinks at wire rate
+        return self.B
+
+    # ------------------------------------------------------------------
+    # Injection
+    # ------------------------------------------------------------------
+    def inject(self, start_time: int, route: FlitRoute, worm_id: int | None = None) -> int:
+        """Schedule a worm: its root (injection) channel is requested at
+        ``start_time``.  Returns the worm id."""
+        wid = worm_id if worm_id is not None else len(self._worms)
+
+        def build(r: FlitRoute, depth: int = 0) -> _Branch:
+            br = _Branch(worm_id=wid, route=r, depth=depth)
+            br.children = [build(c, depth + 1) for c in r.children]
+            if not br.children and r.channel[0] != "del":
+                raise ValueError("route leaf must be a delivery channel")
+            return br
+
+        root = build(route)
+        self._worms.append({"id": wid, "root": root})
+        self._pending_starts.append((start_time, root))
+        return wid
+
+    # ------------------------------------------------------------------
+    # Core loop
+    # ------------------------------------------------------------------
+    def _request(self, branch: _Branch) -> None:
+        if branch.requested:
+            raise AssertionError("double request")
+        branch.requested = True
+        key = branch.key
+        self._queues.setdefault(key, []).append(branch)
+        self._owner.setdefault(key, None)
+        self._free_at.setdefault(key, 0)
+
+    def _upstream_ok(self, branch: _Branch, parent: _Branch | None, m: int) -> bool:
+        """Is flit ``m`` of this branch present at the source buffer?"""
+        if parent is None:
+            return True  # source NI holds the whole packet
+        return parent.crossed > m
+
+    def _capacity_ok(self, branch: _Branch, m: int) -> bool:
+        """Downstream-capacity recurrence along single chains.
+
+        Replication forks (more than one child) are exempt: replicating
+        switches provide per-port full-packet replication buffers
+        (deadlock-free replication support, paper section 3.3), so a fork
+        absorbs the packet regardless of its branches' progress.
+        """
+        if len(branch.children) != 1:
+            return True  # delivery sink, or fork with replication buffers
+        need = m - (self._buffer_of(branch.key) + 1)
+        if need < 0:
+            return True
+        deadline = self.now + self._delay(branch.key)
+        child = branch.children[0]
+        finish = child.finish_times.get(need)
+        return finish is not None and finish <= deadline
+
+    def run(self, max_cycles: int = 2_000_000) -> None:
+        """Tick until every injected worm has fully drained."""
+        while not self._all_done():
+            self._tick()
+            if self.now > max_cycles:
+                raise RuntimeError("flit-level simulation exceeded max_cycles")
+
+    def _all_done(self) -> bool:
+        if self._pending_starts or self._pending_decodes:
+            return False
+        for key, owner in self._owner.items():
+            if owner is not None or self._queues.get(key):
+                return False
+        return True
+
+    def _tick(self) -> None:
+        t = self.now
+        # 1. starts scheduled for this cycle
+        for st, br in [x for x in self._pending_starts if x[0] == t]:
+            self._pending_starts.remove((st, br))
+            self._request(br)
+        # 2. decodes completing now: request child channels
+        for dt, br in [x for x in self._pending_decodes if x[0] == t]:
+            self._pending_decodes.remove((dt, br))
+            for child in br.children:
+                self._request(child)
+        # 3. free channels whose owner's tail has fully crossed
+        for key, owner in list(self._owner.items()):
+            if owner is not None and owner.crossed >= self.L:
+                self._owner[key] = None
+        # 4. grants (FIFO)
+        for key, queue in self._queues.items():
+            if queue and self._owner.get(key) is None and self._free_at.get(key, 0) <= t:
+                branch = queue.pop(0)
+                self._owner[key] = branch
+                branch.granted = True
+        # 5. transmissions: each owned channel moves at most one flit.
+        # Deepest branches first: a parent's capacity check must see its
+        # child's send of this same cycle (a child's availability check only
+        # depends on crossings settled at the end of earlier cycles, so the
+        # leaf-first order is a valid topological schedule).
+        arrivals: list[tuple[_Branch, int]] = []
+        owned = sorted(
+            (
+                (key, branch)
+                for key, branch in self._owner.items()
+                if branch is not None
+            ),
+            key=lambda kb: -kb[1].depth,
+        )
+        for key, branch in owned:
+            m = branch.sent
+            if m >= self.L:
+                continue
+            parent = self._parent_of(branch)
+            if not self._upstream_ok(branch, parent, m):
+                continue
+            if not self._capacity_ok(branch, m):
+                continue
+            branch.sent += 1
+            finish = t + self._delay(key)
+            branch.finish_times[m] = finish
+            arrivals.append((branch, finish))
+        # 6. process arrivals due exactly at future times lazily: instead of
+        # a calendar, advance crossed counters when their finish time passes.
+        self.now += 1
+        self._settle_crossings()
+
+    def _settle_crossings(self) -> None:
+        """Promote flits whose finish time has been reached."""
+        t = self.now
+        for worm in self._worms:
+            stack = [worm["root"]]
+            while stack:
+                br = stack.pop()
+                while br.crossed < br.sent and br.finish_times[br.crossed] <= t:
+                    m = br.crossed
+                    br.crossed += 1
+                    if m == 0 and br.children:
+                        # head arrived at the next switch: decode then fan out
+                        self._pending_decodes.append(
+                            (br.finish_times[0] + self.params.routing_delay, br)
+                        )
+                    if m == self.L - 1 and not br.children:
+                        node = br.route.channel[1]
+                        self.deliveries[(br.worm_id, node)] = br.finish_times[m]
+                stack.extend(br.children)
+
+    def _parent_of(self, branch: _Branch) -> _Branch | None:
+        for worm in self._worms:
+            found = self._find_parent(worm["root"], branch)
+            if found is not None:
+                return found
+            if worm["root"] is branch:
+                return None
+        return None
+
+    @staticmethod
+    def _find_parent(root: _Branch, target: _Branch) -> _Branch | None:
+        stack = [root]
+        while stack:
+            br = stack.pop()
+            for c in br.children:
+                if c is target:
+                    return br
+                stack.append(c)
+        return None

@@ -1,0 +1,101 @@
+"""Assembled simulated system: topology + routing + fabric + hosts.
+
+:class:`SimNetwork` wires everything together for one run and provides the
+unicast steering function every scheme's point-to-point traffic uses.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.params import SimParams
+from repro.routing.reachability import ReachabilityTable
+from repro.routing.updown import Phase, UpDownRouting
+from repro.sim.engine import Engine
+from repro.sim.fabric import Fabric
+from repro.sim.host import Host
+from repro.sim.worm import Deliver, Forward, SteerFn
+from repro.topology.graph import NetworkTopology
+
+
+class SimNetwork:
+    """One simulated irregular-network system instance.
+
+    Construction computes routing tables and reachability once; many
+    messages/experiments can then run on the same instance.  Instances are
+    single-engine: do not share across concurrently running engines.
+    """
+
+    def __init__(
+        self,
+        topo: NetworkTopology,
+        params: SimParams,
+        engine: Engine | None = None,
+    ) -> None:
+        params.validate()
+        self.topo = topo
+        self.params = params
+        self.engine = engine if engine is not None else Engine()
+        self.routing = UpDownRouting.build(topo, orientation=params.routing_tree)
+        self.reach = ReachabilityTable.build(self.routing)
+        self.fabric = Fabric(self.engine, topo, params)
+        self.rng = random.Random(params.route_seed)
+        self.hosts = [Host(self, n) for n in range(topo.num_nodes)]
+        self.trace = None
+        """Assign a :class:`~repro.sim.tracelog.TraceLog` to trace every
+        worm launched through the hosts."""
+
+    # ------------------------------------------------------------------
+    # Steering
+    # ------------------------------------------------------------------
+    def unicast_steer(self, dest_node: int) -> SteerFn:
+        """Steer function for a point-to-point packet toward ``dest_node``.
+
+        State is the up*/down* :class:`Phase`.  At each switch the candidate
+        set is every output on a minimal legal route (adaptive routing); with
+        ``params.adaptive_routing`` False it is narrowed to the deterministic
+        lowest-(switch, link) choice.
+        """
+        dest_switch = self.topo.switch_of_node(dest_node)
+        deliver_ch = self.fabric.deliver[dest_node]
+        routing = self.routing
+        fabric = self.fabric
+        adaptive = self.params.adaptive_routing
+
+        def steer(switch: int, state: object):
+            phase: Phase = state if isinstance(state, Phase) else Phase.UP
+            if switch == dest_switch:
+                return [Deliver(deliver_ch)]
+            hops = routing.next_hops(switch, phase, dest_switch)
+            options = [
+                (fabric.forward_channel(h.link, switch), h.next_phase)
+                for h in hops
+            ]
+            if not adaptive:
+                options = [
+                    min(
+                        options,
+                        key=lambda o: (o[0].to_switch, o[0].link.link_id),
+                    )
+                ]
+            return [Forward(options)]
+
+        return steer
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self, until: float | None = None) -> None:
+        """Drain (or advance) the event engine."""
+        self.engine.run(until=until)
+
+    def assert_quiescent(self) -> None:
+        """Sanity check between experiments: every channel and CPU idle."""
+        stuck = [c.name for c in self.fabric.all_channels() if c.busy]
+        for h in self.hosts:
+            if h.cpu.busy:
+                stuck.append(h.cpu.name)
+            if h.ni.busy:
+                stuck.append(h.ni.name)
+        if stuck:
+            raise AssertionError(f"network not quiescent; busy: {stuck}")

@@ -1,0 +1,147 @@
+"""Contention resources: unit-capacity FIFO grants and rate-limited pipes.
+
+Two resource shapes cover everything in the modelled system:
+
+* :class:`FifoResource` -- one owner at a time, FIFO grant order.  Models
+  host CPUs, NI processors, and (via :class:`~repro.sim.fabric.Channel`,
+  which subclasses it) every physical channel in the fabric.
+* :class:`ThroughputResource` -- a serial pipe moving ``rate`` flits/cycle;
+  models the host I/O bus shared by inbound and outbound DMA.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable
+
+from repro.sim.engine import Engine
+
+GrantFn = Callable[[], None]
+
+
+class FifoResource:
+    """A unit-capacity resource granted in strict request order.
+
+    ``request(fn)`` queues ``fn``; it is invoked (at the engine's current
+    time) the moment the resource becomes this requester's.  The grantee must
+    eventually call :meth:`release` exactly once.
+    """
+
+    __slots__ = (
+        "engine",
+        "name",
+        "_busy",
+        "_queue",
+        "grants",
+        "release_hook",
+        "busy_time",
+        "_granted_at",
+    )
+
+    def __init__(self, engine: Engine, name: str = "") -> None:
+        self.engine = engine
+        self.name = name
+        self._busy = False
+        self._queue: deque[GrantFn] = deque()
+        self.grants = 0
+        self.release_hook: Callable[[float], None] | None = None
+        """Observability: called with the release time on every release."""
+        self.busy_time = 0.0
+        """Accumulated owned time (grant to release), for utilization."""
+        self._granted_at = 0.0
+
+    def request(self, fn: GrantFn) -> None:
+        """Queue for the resource; ``fn`` fires on grant."""
+        if not self._busy:
+            self._busy = True
+            self.grants += 1
+            self._granted_at = self.engine.now
+            fn()
+        else:
+            self._queue.append(fn)
+
+    def release(self) -> None:
+        """Give the resource up; the next queued requester is granted now."""
+        if not self._busy:
+            raise RuntimeError(f"release of idle resource {self.name!r}")
+        self.busy_time += self.engine.now - self._granted_at
+        if self.release_hook is not None:
+            self.release_hook(self.engine.now)
+        if self._queue:
+            fn = self._queue.popleft()
+            self.grants += 1
+            self._granted_at = self.engine.now
+            # Fire through the engine so a grant is always a fresh event at
+            # the current time (keeps callback stacks shallow/deterministic).
+            self.engine.after(0, fn)
+        else:
+            self._busy = False
+
+    @property
+    def busy(self) -> bool:
+        """Whether the resource is currently owned."""
+        return self._busy
+
+    @property
+    def queue_length(self) -> int:
+        """Requesters waiting (excludes the current owner)."""
+        return len(self._queue)
+
+    def hold_for(self, duration: float, then: GrantFn | None = None) -> None:
+        """Convenience: request, hold ``duration`` cycles, release.
+
+        ``then`` fires at the moment of release (after it).  Models a CPU
+        executing a software overhead block.
+        """
+
+        def on_grant() -> None:
+            def done() -> None:
+                self.release()
+                if then is not None:
+                    then()
+
+            self.engine.after(duration, done)
+
+        self.request(on_grant)
+
+
+class ThroughputResource:
+    """A serial pipe with finite bandwidth (flits/cycle).
+
+    Transfers are serviced strictly in request order, back to back: a
+    transfer of ``n`` flits completes ``n / rate`` cycles after the pipe gets
+    to it.  This models DMA engines on the host I/O bus, where send and
+    receive transfers of one node share the same bus.
+    """
+
+    __slots__ = ("engine", "rate", "name", "_free_at", "transfers", "flits_moved")
+
+    def __init__(self, engine: Engine, rate: float, name: str = "") -> None:
+        if rate <= 0:
+            raise ValueError("rate must be positive")
+        self.engine = engine
+        self.rate = rate
+        self.name = name
+        self._free_at = 0.0
+        self.transfers = 0
+        self.flits_moved = 0
+
+    def transfer(self, flits: int, fn: GrantFn) -> float:
+        """Enqueue a transfer; ``fn`` fires at completion.
+
+        Returns the completion time (also the time ``fn`` fires).
+        """
+        if flits < 0:
+            raise ValueError("negative transfer size")
+        start = max(self.engine.now, self._free_at)
+        end = start + flits / self.rate
+        self._free_at = end
+        self.transfers += 1
+        self.flits_moved += flits
+        self.engine.at(end, fn)
+        return end
+
+    @property
+    def backlog_cycles(self) -> float:
+        """How far ahead of now the pipe is already committed."""
+        return max(0.0, self._free_at - self.engine.now)

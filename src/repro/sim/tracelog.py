@@ -1,0 +1,74 @@
+"""Structured event tracing for worm-level debugging.
+
+Attach a :class:`TraceLog` to a :class:`~repro.sim.network.SimNetwork`
+(``net.trace = TraceLog()``) and every worm launched through a host records
+its channel grants, header expansions, deliveries, and releases.  The log is
+a bounded ring buffer, so tracing a long load run keeps the tail rather
+than exhausting memory.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One traced simulator event."""
+
+    time: float
+    event: str
+    worm: str
+    detail: str
+
+    def __str__(self) -> str:
+        return f"[{self.time:>12.1f}] {self.event:<8} {self.worm:<18} {self.detail}"
+
+
+class TraceLog:
+    """Bounded in-memory event trace."""
+
+    def __init__(self, capacity: int = 100_000) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        self._records: deque[TraceRecord] = deque(maxlen=capacity)
+        self.dropped = 0
+        self._capacity = capacity
+
+    def emit(self, time: float, event: str, worm: str, detail: str) -> None:
+        """Append one record (oldest records are dropped past capacity)."""
+        if len(self._records) == self._capacity:
+            self.dropped += 1
+        self._records.append(TraceRecord(time, event, worm, detail))
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def records(
+        self,
+        event: str | None = None,
+        worm_contains: str | None = None,
+    ) -> list[TraceRecord]:
+        """Filtered view of the trace."""
+        out = []
+        for r in self._records:
+            if event is not None and r.event != event:
+                continue
+            if worm_contains is not None and worm_contains not in r.worm:
+                continue
+            out.append(r)
+        return out
+
+    def format(self, limit: int = 200, **filters) -> str:
+        """Human-readable tail of the (filtered) trace."""
+        recs = self.records(**filters)[-limit:]
+        body = "\n".join(str(r) for r in recs)
+        header = f"trace: {len(self._records)} records"
+        if self.dropped:
+            header += f" ({self.dropped} dropped)"
+        return header + ("\n" + body if body else "")
+
+    def clear(self) -> None:
+        """Drop all records (the drop counter is kept)."""
+        self._records.clear()

@@ -1,0 +1,324 @@
+"""Worm-level cut-through packet model with flit-exact timing.
+
+A *worm* is one packet (``L`` flits) moving through the fabric, possibly
+replicating into a tree (multidestination worms).  Rather than ticking every
+flit every cycle, the model advances the *header* through FIFO channel grants
+and computes tail/release times in closed form, which is exact for rate-1
+flit streaming through per-hop input buffers:
+
+The per-flit send schedule of every hop is the least fixed point of three
+constraint families (rate limit from the grant, flit availability from the
+parent hop, and buffer backpressure from the next hop -- see the comment on
+:meth:`Worm._send_bound`), evaluated lazily as grants occur.  When the
+downstream buffer holds a whole packet a blocked packet absorbs into it and
+frees its upstream channels -- virtual cut-through; with small buffers the
+worm stalls spanning several channels -- wormhole chain-blocking.
+
+Replication forks are special: replicating switch ports carry *full-packet
+replication buffers* (the "support for deadlock-free replication ...
+required at the switches" of the paper's Section 3.3), so branches advance
+independently and a blocked branch neither starves its siblings nor
+back-pressures the shared feed.  Without that hardware support, two
+multidestination worms replicating across each other genuinely deadlock --
+the cycle-accurate reference backend (:mod:`repro.sim.flitsim`) reproduces
+both behaviours, and the cross-validation suite pins this model to it.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.params import SimParams
+from repro.sim.engine import Engine
+from repro.sim.fabric import Channel
+
+
+@dataclass
+class Deliver:
+    """Steer instruction: absorb a copy at the node on ``channel``."""
+
+    channel: Channel
+
+
+@dataclass
+class Forward:
+    """Steer instruction: continue toward another switch.
+
+    ``options`` are the adaptive alternatives (all on minimal legal
+    continuations), each paired with the scheme-private routing state the
+    steer function will receive at the next switch if that channel is the
+    one chosen (e.g. the up*/down* phase depends on which link is taken).
+    """
+
+    options: list[tuple[Channel, object]]
+
+
+SteerFn = Callable[[int, object], list["Deliver | Forward"]]
+"""(switch, state) -> replication instructions at this switch."""
+
+
+class _NotFinal(Exception):
+    """A tail-time bound still depends on a pending grant/expansion."""
+
+
+@dataclass
+class _Hop:
+    """One granted-or-requested channel on the worm's replication tree."""
+
+    channel: Channel
+    parent: "_Hop | None"
+    h: float | None = None  # header finished crossing; None until granted
+    terminal: bool = False  # delivery hop: chain ends here
+    expanded: bool = False  # children hops all created (requests issued)
+    children: list["_Hop"] = field(default_factory=list)
+    release_scheduled: bool = False
+
+
+class Worm:
+    """One packet in flight; drives itself through the fabric via events.
+
+    Args:
+        engine: the event engine.
+        params: timing parameters (packet length, buffers, delays).
+        steer: routing/replication decision function, called once per switch
+            the header enters (at ``header arrival + routing_delay``).
+        on_delivered: ``(node, tail_time)`` fired when the last flit of a
+            copy reaches a destination NI.
+        on_done: optional; fired when every delivery has completed *and*
+            every channel has been released.
+        rng: shared RNG for adaptive tie-breaks (deterministic per seed).
+        length: flits in this worm; defaults to ``params.packet_flits``.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        params: SimParams,
+        steer: SteerFn,
+        on_delivered: Callable[[int, float], None],
+        on_done: Callable[[], None] | None = None,
+        rng: random.Random | None = None,
+        length: int | None = None,
+        label: str = "",
+        trace: "object | None" = None,
+    ) -> None:
+        if params.link_delay < 1:
+            raise ValueError(
+                "worm timing model requires link_delay >= 1 (header must "
+                "advance at least one cycle per hop)"
+            )
+        self.engine = engine
+        self.params = params
+        self.steer = steer
+        self.on_delivered = on_delivered
+        self.on_done = on_done
+        self.rng = rng or random.Random(params.route_seed)
+        self.length = params.packet_flits if length is None else length
+        self.label = label
+        self.trace = trace
+        """Optional :class:`~repro.sim.tracelog.TraceLog` receiving events."""
+        self.start_time: float | None = None
+        self.finish_time: float | None = None
+        self._unreleased = 0
+        self._pending_deliveries = 0
+        self._started = False
+        self._channels_used: set[int] = set()
+        self._hops: list[_Hop] = []
+
+    # ------------------------------------------------------------------
+    # Launch
+    # ------------------------------------------------------------------
+    def start(self, inject_channel: Channel, initial_state: object) -> None:
+        """Inject the worm: queue for the source node's injection channel."""
+        if self._started:
+            raise RuntimeError("worm already started")
+        self._started = True
+        self.start_time = self.engine.now
+        root = self._new_hop(inject_channel, parent=None)
+        self._request(root, next_state=initial_state)
+
+    # ------------------------------------------------------------------
+    # Hop mechanics
+    # ------------------------------------------------------------------
+    def _new_hop(self, channel: Channel, parent: _Hop | None) -> _Hop:
+        if channel.uid in self._channels_used:
+            raise RuntimeError(
+                f"worm {self.label!r} routed across channel {channel.name} twice"
+            )
+        self._channels_used.add(channel.uid)
+        hop = _Hop(channel=channel, parent=parent)
+        if parent is not None:
+            parent.children.append(hop)
+        self._hops.append(hop)
+        self._unreleased += 1
+        return hop
+
+    def _trace(self, event: str, detail: str) -> None:
+        if self.trace is not None:
+            self.trace.emit(self.engine.now, event, self.label, detail)
+
+    def _request(self, hop: _Hop, next_state: object) -> None:
+        def granted() -> None:
+            hop.h = self.engine.now + hop.channel.delay
+            self._trace("grant", hop.channel.name)
+            if not hop.terminal:
+                # Header reaches the next switch's input buffer at hop.h and
+                # spends routing_delay being decoded before replication.
+                self.engine.at(
+                    hop.h + self.params.routing_delay,
+                    lambda: self._expand(hop, next_state),
+                )
+            self._refinalize()
+
+        hop.channel.request(granted)
+
+    def _choose(self, options: list[tuple[Channel, object]]) -> tuple[Channel, object]:
+        """Adaptive output selection: idle channels first, then shortest
+        queue; ties broken randomly (seeded) like Autonet's random port pick."""
+        if not options:
+            raise ValueError("Forward with no candidate channels")
+        if len(options) == 1:
+            return options[0]
+
+        def load(opt: tuple[Channel, object]) -> tuple[int, int]:
+            ch = opt[0]
+            return (0, ch.queue_length) if not ch.busy else (1, ch.queue_length + 1)
+
+        best = min(load(o) for o in options)
+        pool = [o for o in options if load(o) == best]
+        return pool[0] if len(pool) == 1 else self.rng.choice(pool)
+
+    def _expand(self, hop: _Hop, state: object) -> None:
+        """Header decoded at the switch after crossing ``hop``: replicate."""
+        switch = hop.channel.to_switch
+        assert switch is not None, "expanded a delivery hop"
+        instrs = self.steer(switch, state)
+        if not instrs:
+            raise RuntimeError(
+                f"steer returned no instructions for worm {self.label!r} at "
+                f"switch {switch} -- the worm would be stranded"
+            )
+        for ins in instrs:
+            if isinstance(ins, Deliver):
+                child = self._new_hop(ins.channel, parent=hop)
+                child.terminal = True
+                child.expanded = True
+                self._pending_deliveries += 1
+                self._request(child, next_state=None)
+            elif isinstance(ins, Forward):
+                chosen, next_state = self._choose(ins.options)
+                child = self._new_hop(chosen, parent=hop)
+                self._request(child, next_state=next_state)
+            else:  # pragma: no cover - type guard
+                raise TypeError(f"unknown steer instruction {ins!r}")
+        hop.expanded = True
+        self._refinalize()
+
+    def _delivered(self, node: int) -> None:
+        self._pending_deliveries -= 1
+        self._trace("deliver", f"node {node}")
+        self.on_delivered(node, self.engine.now)
+        self._check_done()
+
+    # ------------------------------------------------------------------
+    # Tail-time computation (release and delivery scheduling)
+    # ------------------------------------------------------------------
+    # The per-flit send schedule of hop h obeys three constraint families
+    # (matching the flit-level reference simulator in repro.sim.flitsim):
+    #
+    #   send_h(m) >= grant_h + m                       (rate limit)
+    #   send_h(m) >= send_parent(m) + delay_parent     (flit availability)
+    #   send_h(m) >= send_c(m - (B_h+1)) + delay_c - delay_h   per child c
+    #                                                  (buffer capacity;
+    #                                                   ALL children gate a
+    #                                                   fork's shared feed)
+    #
+    # The tail time of hop h is delay_h + send_h(L-1), computed by
+    # relaxation over these constraint "walks".  Down-moves strictly
+    # decrease the flit index by the buffer capacity, so the recursion
+    # terminates; the value is *final* once every hop a walk can visit at a
+    # non-negative index has been granted (and expanded, where its children
+    # matter).  For single-chain worms this reduces exactly to the old
+    # closed form; for replication trees it also captures a blocked branch
+    # starving its siblings through the shared buffer.
+
+    def _refinalize(self) -> None:
+        """Attempt to finalize the tail time of every unresolved hop."""
+        L = self.length
+        memo: dict[tuple[int, int], float] = {}
+        now = self.engine.now
+        for hop in self._hops:
+            if hop.release_scheduled:
+                continue
+            try:
+                tail = hop.channel.delay + self._send_bound(hop, L - 1, memo)
+            except _NotFinal:
+                continue
+            hop.release_scheduled = True
+            when = max(tail, now)
+            self.engine.at(when, lambda h=hop: self._release(h))
+            if hop.terminal:
+                node = hop.channel.to_node
+                assert node is not None
+                self.engine.at(when, lambda n=node: self._delivered(n))
+
+    def _send_bound(
+        self, hop: _Hop, idx: int, memo: dict[tuple[int, int], float]
+    ) -> float:
+        """Tightest lower bound on when flit ``idx`` enters ``hop``'s channel.
+
+        Raises :class:`_NotFinal` when an ungranted/unexpanded hop within
+        the constraint horizon makes the value still unbounded.
+        """
+        if hop.h is None:
+            raise _NotFinal
+        key = (id(hop), idx)
+        cached = memo.get(key)
+        if cached is not None:
+            return cached
+        grant = hop.h - hop.channel.delay
+        best = grant + idx
+        if hop.parent is not None:
+            best = max(
+                best,
+                self._send_bound(hop.parent, idx, memo)
+                + hop.parent.channel.delay,
+            )
+        cap = hop.channel.downstream_buffer + 1
+        if idx - cap >= 0 and not hop.terminal:
+            if not hop.expanded:
+                raise _NotFinal
+            # Replicating switches provide deadlock-free replication
+            # (paper section 3.3): every fork port has its own full-packet
+            # replication buffer, so a blocked branch neither starves its
+            # siblings nor back-pressures the shared feed.  Without this,
+            # two tree worms replicating across each other genuinely
+            # deadlock (the flit-level reference reproduces that), which is
+            # precisely why the paper lists the support as a switch cost.
+            if len(hop.children) == 1:
+                child = hop.children[0]
+                best = max(
+                    best,
+                    self._send_bound(child, idx - cap, memo)
+                    + child.channel.delay
+                    - hop.channel.delay,
+                )
+        memo[key] = best
+        return best
+
+    def _release(self, hop: _Hop) -> None:
+        self._trace("release", hop.channel.name)
+        hop.channel.flits_carried += self.length
+        hop.channel.worms_carried += 1
+        hop.channel.release()
+        self._unreleased -= 1
+        self._check_done()
+
+    def _check_done(self) -> None:
+        if self._unreleased == 0 and self._pending_deliveries == 0:
+            if self.finish_time is None:
+                self.finish_time = self.engine.now
+                if self.on_done is not None:
+                    self.on_done()

@@ -1,0 +1,17 @@
+"""Irregular switch-based network topologies (DESIGN.md system S1).
+
+The paper's system model: a set of switches, each with a fixed number of
+ports; some ports attach processing nodes (hosts), some connect to other
+switches via bidirectional links (multi-links allowed), some stay open.  The
+only guarantee is that the network is connected.
+"""
+
+from repro.topology.graph import NetworkTopology, PortRef, SwitchLink
+from repro.topology.irregular import generate_irregular_topology
+
+__all__ = [
+    "NetworkTopology",
+    "PortRef",
+    "SwitchLink",
+    "generate_irregular_topology",
+]

@@ -1,0 +1,82 @@
+"""Topology metrics: structural properties of generated irregular networks.
+
+Used by the topology explorer example, by experiment sanity checks, and by
+tests that assert the generator produces networks comparable to the paper's
+("our method for generating different irregular topologies...").
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.topology.graph import NetworkTopology
+
+
+@dataclass(frozen=True)
+class TopologyStats:
+    """Structural summary of one irregular network."""
+
+    num_switches: int
+    num_nodes: int
+    num_links: int
+    diameter: int
+    mean_switch_distance: float
+    min_degree: int
+    max_degree: int
+    mean_degree: float
+    nodes_per_switch_min: int
+    nodes_per_switch_max: int
+    multi_link_pairs: int
+    """Switch pairs joined by more than one physical link."""
+
+
+def switch_distances(topo: NetworkTopology, src: int) -> list[int]:
+    """Unweighted switch-graph BFS distances from ``src`` (-1 unreachable)."""
+    dist = [-1] * topo.num_switches
+    dist[src] = 0
+    q: deque[int] = deque([src])
+    while q:
+        s = q.popleft()
+        for nb in topo.neighbors(s):
+            if dist[nb] == -1:
+                dist[nb] = dist[s] + 1
+                q.append(nb)
+    return dist
+
+
+def analyze(topo: NetworkTopology) -> TopologyStats:
+    """Compute a :class:`TopologyStats` for a connected topology.
+
+    Raises:
+        ValueError: if the switch graph is disconnected (distances would be
+            meaningless).
+    """
+    if not topo.is_connected():
+        raise ValueError("topology is disconnected")
+    all_d: list[int] = []
+    diameter = 0
+    for s in range(topo.num_switches):
+        d = switch_distances(topo, s)
+        diameter = max(diameter, max(d))
+        all_d.extend(x for i, x in enumerate(d) if i != s)
+    degrees = [topo.degree(s) for s in range(topo.num_switches)]
+    per_switch = [len(topo.nodes_on_switch(s)) for s in range(topo.num_switches)]
+    pair_counts: dict[tuple[int, int], int] = {}
+    for lk in topo.links:
+        key = tuple(sorted((lk.a.switch, lk.b.switch)))
+        pair_counts[key] = pair_counts.get(key, 0) + 1
+    mean_dist = sum(all_d) / len(all_d) if all_d else 0.0
+    return TopologyStats(
+        num_switches=topo.num_switches,
+        num_nodes=topo.num_nodes,
+        num_links=len(topo.links),
+        diameter=diameter,
+        mean_switch_distance=mean_dist,
+        min_degree=min(degrees) if degrees else 0,
+        max_degree=max(degrees) if degrees else 0,
+        mean_degree=sum(degrees) / len(degrees) if degrees else 0.0,
+        nodes_per_switch_min=min(per_switch) if per_switch else 0,
+        nodes_per_switch_max=max(per_switch) if per_switch else 0,
+        multi_link_pairs=sum(1 for c in pair_counts.values() if c > 1),
+    )

@@ -1,0 +1,80 @@
+"""Link-fault injection and reconfiguration support.
+
+The paper motivates irregular topologies by exactly this: "using such
+topologies allows easy addition and deletion of nodes ... making the overall
+environment more amenable to network reconfigurations and resistant to
+faults."  Autonet reconfigures by recomputing its spanning tree when links
+fail; in this library, reconfiguration is simply building a new
+:class:`~repro.sim.network.SimNetwork` on the degraded topology (routing
+tables, reachability strings, and all multicast plans follow).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.topology.graph import NetworkTopology
+
+
+def remove_link(topo: NetworkTopology, link_id: int) -> NetworkTopology:
+    """A copy of the topology with one switch-switch link failed.
+
+    The freed ports stay open (as after a physical cable failure).  Raises
+    ``ValueError`` for unknown ids or when removal would disconnect the
+    switch graph (a disconnected network cannot be reconfigured around).
+    """
+    links = [lk for lk in topo.links if lk.link_id != link_id]
+    if len(links) == len(topo.links):
+        raise ValueError(f"no link with id {link_id}")
+    degraded = NetworkTopology(
+        num_switches=topo.num_switches,
+        ports_per_switch=topo.ports_per_switch,
+        node_attachment=list(topo.node_attachment),
+        links=links,
+    )
+    if not degraded.is_connected():
+        raise ValueError(
+            f"removing link {link_id} disconnects the network"
+        )
+    return degraded
+
+
+def removable_links(topo: NetworkTopology) -> list[int]:
+    """Ids of links whose individual failure keeps the network connected."""
+    out = []
+    for lk in topo.links:
+        try:
+            remove_link(topo, lk.link_id)
+        except ValueError:
+            continue
+        out.append(lk.link_id)
+    return out
+
+
+def degrade(
+    topo: NetworkTopology,
+    n_failures: int,
+    rng: random.Random | None = None,
+) -> tuple[NetworkTopology, list[int]]:
+    """Fail ``n_failures`` random links, keeping the network connected.
+
+    Returns the degraded topology and the failed link ids (in failure
+    order).  Raises ``ValueError`` if the topology cannot absorb that many
+    failures without disconnecting.
+    """
+    if n_failures < 0:
+        raise ValueError("n_failures must be non-negative")
+    rng = rng or random.Random(0)
+    current = topo
+    failed: list[int] = []
+    for _ in range(n_failures):
+        candidates = removable_links(current)
+        if not candidates:
+            raise ValueError(
+                f"cannot fail {n_failures} links without disconnecting "
+                f"(stuck after {len(failed)})"
+            )
+        victim = rng.choice(candidates)
+        current = remove_link(current, victim)
+        failed.append(victim)
+    return current, failed

@@ -1,0 +1,164 @@
+"""Random irregular topology generation.
+
+The paper generates "different irregular topologies" with a fixed number of
+switches and ports per switch and averages results over them (their method is
+described in Kesavan et al., HPCA'98).  We follow the same recipe:
+
+1. scatter the hosts across switches uniformly at random (bounded by free
+   ports, and leaving every switch at least one port for connectivity);
+2. connect the switches with a uniformly random spanning tree (guaranteeing
+   connectivity, as the paper requires);
+3. spend remaining ports on random extra switch-switch links -- multi-links
+   between the same switch pair are allowed, self-links are not -- until the
+   requested link budget or port exhaustion.
+
+The generator is fully deterministic in its seed.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.params import SimParams
+from repro.topology.graph import NetworkTopology, PortRef, SwitchLink
+
+
+def generate_irregular_topology(
+    params: SimParams,
+    seed: int | None = None,
+    extra_link_fraction: float = 0.5,
+) -> NetworkTopology:
+    """Generate a random connected irregular topology.
+
+    Args:
+        params: system dimensions (switch count, port count, node count).
+        seed: RNG seed; defaults to ``params.topology_seed``.
+        extra_link_fraction: after the spanning tree, this fraction of the
+            remaining free port *pairs* is consumed by random extra links
+            (0.0 keeps a pure tree, 1.0 wires every spare port it can).
+
+    Returns:
+        A connected :class:`NetworkTopology`.
+
+    Raises:
+        ValueError: if the dimensions cannot host all nodes while staying
+            connected (delegates to :meth:`SimParams.validate`).
+    """
+    params.validate()
+    if not 0.0 <= extra_link_fraction <= 1.0:
+        raise ValueError("extra_link_fraction must be within [0, 1]")
+    rng = random.Random(params.topology_seed if seed is None else seed)
+    S, P, N = params.num_switches, params.ports_per_switch, params.num_nodes
+
+    # Ports are handed out from 0 upward on each switch; port numbering is
+    # immaterial to behaviour (routing is by link identity), so a simple
+    # next-free counter suffices.
+    next_port = [0] * S
+
+    def take_port(switch: int) -> PortRef:
+        ref = PortRef(switch, next_port[switch])
+        next_port[switch] += 1
+        if ref.port >= P:
+            raise AssertionError("internal port budget violation")
+        return ref
+
+    # --- 1. host placement -------------------------------------------------
+    # Every switch must keep >=1 port for the spanning tree (>=2 for interior
+    # switches, but the tree construction below checks as it goes).
+    tree_ports_needed = [0] * S
+    # A uniformly random spanning tree over switches (random Prufer-free
+    # construction: random permutation + attach each new switch to a random
+    # already-connected one).
+    order = list(range(S))
+    rng.shuffle(order)
+    tree_edges: list[tuple[int, int]] = []
+    for i in range(1, S):
+        parent = order[rng.randrange(i)]
+        tree_edges.append((parent, order[i]))
+        tree_ports_needed[parent] += 1
+        tree_ports_needed[order[i]] += 1
+
+    host_of: list[int] = []
+    host_count = [0] * S
+    for _ in range(N):
+        candidates = [
+            s
+            for s in range(S)
+            if host_count[s] + tree_ports_needed[s] < P
+        ]
+        if not candidates:
+            raise ValueError("cannot place all hosts: port budget exhausted")
+        s = rng.choice(candidates)
+        host_count[s] += 1
+        host_of.append(s)
+
+    # --- 2. spanning tree links --------------------------------------------
+    links: list[SwitchLink] = []
+    used_ports = [host_count[s] for s in range(S)]
+
+    def link_budget(s: int) -> int:
+        return P - used_ports[s]
+
+    link_id = 0
+    for a, b in tree_edges:
+        links.append(SwitchLink(link_id, PortRef(a, -1), PortRef(b, -1)))
+        used_ports[a] += 1
+        used_ports[b] += 1
+        link_id += 1
+
+    # --- 3. extra random links ----------------------------------------------
+    if S > 1:
+        spare_pairs = sum(max(0, link_budget(s)) for s in range(S)) // 2
+        target_extra = int(round(spare_pairs * extra_link_fraction))
+        attempts = 0
+        added = 0
+        while added < target_extra and attempts < 50 * (target_extra + 1):
+            attempts += 1
+            open_switches = [s for s in range(S) if link_budget(s) > 0]
+            if len(open_switches) < 2:
+                break
+            a, b = rng.sample(open_switches, 2)
+            links.append(SwitchLink(link_id, PortRef(a, -1), PortRef(b, -1)))
+            used_ports[a] += 1
+            used_ports[b] += 1
+            link_id += 1
+            added += 1
+
+    # --- materialise port numbers -------------------------------------------
+    # Hosts take the low ports, then links, mirroring Figure 1 of the paper
+    # where each switch mixes host ports and switch ports.
+    node_attachment: list[PortRef] = []
+    for s in host_of:
+        node_attachment.append(take_port(s))
+    final_links: list[SwitchLink] = []
+    for lk in links:
+        final_links.append(
+            SwitchLink(lk.link_id, take_port(lk.a.switch), take_port(lk.b.switch))
+        )
+
+    topo = NetworkTopology(
+        num_switches=S,
+        ports_per_switch=P,
+        node_attachment=node_attachment,
+        links=final_links,
+    )
+    if not topo.is_connected():
+        raise AssertionError("generator produced a disconnected topology")
+    return topo
+
+
+def generate_topology_family(
+    params: SimParams, count: int, base_seed: int | None = None
+) -> list[NetworkTopology]:
+    """Generate ``count`` distinct-seed topologies for averaging experiments.
+
+    The paper averages every reported number over several random topologies;
+    this helper produces the family deterministically from ``base_seed``.
+    """
+    if count < 1:
+        raise ValueError("count must be >= 1")
+    base = params.topology_seed if base_seed is None else base_seed
+    return [
+        generate_irregular_topology(params, seed=base + 1000 * i)
+        for i in range(count)
+    ]

@@ -1,0 +1,133 @@
+"""Canonical regular topologies (validation and comparison substrates).
+
+The paper's subject is *irregular* networks, but up*/down* routing and all
+four multicast schemes are topology-agnostic; regular structures are
+invaluable as validation substrates (hand-checkable distances and
+reachability) and for comparing "how much does irregularity cost".  Each
+builder returns an ordinary :class:`NetworkTopology` with
+``hosts_per_switch`` hosts on every switch.
+
+Node numbering everywhere: node ``s * hosts_per_switch + i`` is host ``i``
+of switch ``s``.
+"""
+
+from __future__ import annotations
+
+from repro.topology.graph import NetworkTopology, PortRef, SwitchLink
+
+
+class _Builder:
+    """Port-cursor bookkeeping shared by all regular builders."""
+
+    def __init__(self, num_switches: int, hosts_per_switch: int, ports: int) -> None:
+        if hosts_per_switch < 0:
+            raise ValueError("hosts_per_switch must be non-negative")
+        self.num_switches = num_switches
+        self.ports = ports
+        self.cursor = [hosts_per_switch] * num_switches
+        self.links: list[SwitchLink] = []
+        self.attach = [
+            PortRef(s, i)
+            for s in range(num_switches)
+            for i in range(hosts_per_switch)
+        ]
+
+    def link(self, a: int, b: int) -> None:
+        pa = PortRef(a, self.cursor[a])
+        self.cursor[a] += 1
+        pb = PortRef(b, self.cursor[b])
+        self.cursor[b] += 1
+        if max(self.cursor[a], self.cursor[b]) > self.ports:
+            raise ValueError(
+                f"ports_per_switch={self.ports} too small for this topology"
+            )
+        self.links.append(SwitchLink(len(self.links), pa, pb))
+
+    def build(self) -> NetworkTopology:
+        topo = NetworkTopology(
+            self.num_switches, self.ports, self.attach, self.links
+        )
+        if not topo.is_connected():
+            raise AssertionError("regular builder produced disconnected graph")
+        return topo
+
+
+def mesh_2d(rows: int, cols: int, hosts_per_switch: int = 1,
+            ports_per_switch: int = 8) -> NetworkTopology:
+    """rows x cols 2D mesh of switches."""
+    if rows < 1 or cols < 1 or rows * cols < 2:
+        raise ValueError("mesh needs at least 2 switches")
+    b = _Builder(rows * cols, hosts_per_switch, ports_per_switch)
+    sid = lambda r, c: r * cols + c
+    for r in range(rows):
+        for c in range(cols):
+            if c + 1 < cols:
+                b.link(sid(r, c), sid(r, c + 1))
+            if r + 1 < rows:
+                b.link(sid(r, c), sid(r + 1, c))
+    return b.build()
+
+
+def torus_2d(rows: int, cols: int, hosts_per_switch: int = 1,
+             ports_per_switch: int = 8) -> NetworkTopology:
+    """rows x cols 2D torus (wrap-around mesh); needs rows,cols >= 3 to
+    avoid duplicate edges collapsing into multi-links unexpectedly."""
+    if rows < 3 or cols < 3:
+        raise ValueError("torus needs rows, cols >= 3")
+    b = _Builder(rows * cols, hosts_per_switch, ports_per_switch)
+    sid = lambda r, c: r * cols + c
+    for r in range(rows):
+        for c in range(cols):
+            b.link(sid(r, c), sid(r, (c + 1) % cols))
+            b.link(sid(r, c), sid((r + 1) % rows, c))
+    return b.build()
+
+
+def hypercube(dimension: int, hosts_per_switch: int = 1,
+              ports_per_switch: int | None = None) -> NetworkTopology:
+    """Binary d-cube of switches (2^d switches, d links each)."""
+    if dimension < 1:
+        raise ValueError("dimension must be >= 1")
+    n = 1 << dimension
+    ports = ports_per_switch or (dimension + hosts_per_switch)
+    b = _Builder(n, hosts_per_switch, ports)
+    for s in range(n):
+        for d in range(dimension):
+            t = s ^ (1 << d)
+            if t > s:
+                b.link(s, t)
+    return b.build()
+
+
+def ring(n_switches: int, hosts_per_switch: int = 1,
+         ports_per_switch: int = 8) -> NetworkTopology:
+    """Cycle of switches (n >= 3)."""
+    if n_switches < 3:
+        raise ValueError("ring needs at least 3 switches")
+    b = _Builder(n_switches, hosts_per_switch, ports_per_switch)
+    for s in range(n_switches):
+        b.link(s, (s + 1) % n_switches)
+    return b.build()
+
+
+def fully_connected(n_switches: int, hosts_per_switch: int = 1,
+                    ports_per_switch: int | None = None) -> NetworkTopology:
+    """Complete graph of switches (every pair directly linked)."""
+    if n_switches < 2:
+        raise ValueError("need at least 2 switches")
+    ports = ports_per_switch or (n_switches - 1 + hosts_per_switch)
+    b = _Builder(n_switches, hosts_per_switch, ports)
+    for a in range(n_switches):
+        for c in range(a + 1, n_switches):
+            b.link(a, c)
+    return b.build()
+
+
+REGULAR_BUILDERS = {
+    "mesh": mesh_2d,
+    "torus": torus_2d,
+    "hypercube": hypercube,
+    "ring": ring,
+    "clique": fully_connected,
+}
+"""Registry used by examples and the comparison experiment."""

@@ -1,0 +1,74 @@
+"""Topology save/load as JSON (reproducibility artifacts).
+
+The paper's results are averaged over a family of random topologies; being
+able to pin the exact networks a result came from -- and reload them later
+or on another machine -- is what makes a simulation study auditable.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+from repro.topology.graph import NetworkTopology, PortRef, SwitchLink
+
+FORMAT_VERSION = 1
+
+
+def topology_to_dict(topo: NetworkTopology) -> dict:
+    """Plain-data representation of a topology (JSON-ready)."""
+    return {
+        "format": FORMAT_VERSION,
+        "num_switches": topo.num_switches,
+        "ports_per_switch": topo.ports_per_switch,
+        "nodes": [
+            {"node": n, "switch": p.switch, "port": p.port}
+            for n, p in enumerate(topo.node_attachment)
+        ],
+        "links": [
+            {
+                "id": lk.link_id,
+                "a": {"switch": lk.a.switch, "port": lk.a.port},
+                "b": {"switch": lk.b.switch, "port": lk.b.port},
+            }
+            for lk in topo.links
+        ],
+    }
+
+
+def topology_from_dict(data: dict) -> NetworkTopology:
+    """Inverse of :func:`topology_to_dict`.
+
+    Raises:
+        ValueError: on unknown format versions or malformed node lists.
+    """
+    if data.get("format") != FORMAT_VERSION:
+        raise ValueError(f"unsupported topology format {data.get('format')!r}")
+    nodes = sorted(data["nodes"], key=lambda d: d["node"])
+    if [d["node"] for d in nodes] != list(range(len(nodes))):
+        raise ValueError("node ids must be dense 0..N-1")
+    return NetworkTopology(
+        num_switches=data["num_switches"],
+        ports_per_switch=data["ports_per_switch"],
+        node_attachment=[PortRef(d["switch"], d["port"]) for d in nodes],
+        links=[
+            SwitchLink(
+                d["id"],
+                PortRef(d["a"]["switch"], d["a"]["port"]),
+                PortRef(d["b"]["switch"], d["b"]["port"]),
+            )
+            for d in data["links"]
+        ],
+    )
+
+
+def save_topology(topo: NetworkTopology, path: str | pathlib.Path) -> None:
+    """Write a topology to a JSON file."""
+    pathlib.Path(path).write_text(
+        json.dumps(topology_to_dict(topo), indent=2) + "\n"
+    )
+
+
+def load_topology(path: str | pathlib.Path) -> NetworkTopology:
+    """Read a topology from a JSON file written by :func:`save_topology`."""
+    return topology_from_dict(json.loads(pathlib.Path(path).read_text()))

@@ -1,0 +1,25 @@
+"""Traffic drivers: single-multicast latency and open-loop multicast load
+(system S13)."""
+
+from repro.traffic.single import (
+    average_single_multicast_latency,
+    measure_single_multicast,
+)
+from repro.traffic.load import LoadPoint, run_load_experiment, sweep_load
+from repro.traffic.background import (
+    BackgroundLoadResult,
+    multicast_under_background,
+)
+from repro.traffic.patterns import PATTERNS, resolve_pattern
+
+__all__ = [
+    "measure_single_multicast",
+    "average_single_multicast_latency",
+    "LoadPoint",
+    "run_load_experiment",
+    "sweep_load",
+    "BackgroundLoadResult",
+    "multicast_under_background",
+    "PATTERNS",
+    "resolve_pattern",
+]

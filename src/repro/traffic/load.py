@@ -1,0 +1,156 @@
+"""Open-loop multicast load experiments (Section 4.3 of the paper).
+
+Every node generates multicast operations as a Poisson process; each
+operation targets a uniform random destination set of fixed degree ``d``.
+The paper's stimulus measure is the *effective applied load*: for a
+per-multicast generation load of ``l`` (flits/cycle/node of raw message
+data), the effective load is ``l * d`` -- each multicast moves ``d`` copies.
+
+Latency is measured on operations issued after a cold-start window; a point
+is *saturated* when the system cannot keep up with the offered load, which we
+detect by completion shortfall (operations issued in the measurement window
+that never complete by the end of a generous drain period).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.metrics.stats import summarize
+from repro.multicast import make_scheme
+from repro.multicast.base import MulticastResult
+from repro.params import SimParams
+from repro.sim.network import SimNetwork
+from repro.topology.graph import NetworkTopology
+
+
+@dataclass(frozen=True)
+class LoadPoint:
+    """One point on a latency-vs-applied-load curve."""
+
+    effective_load: float
+    """Offered load x degree, in flits/cycle/node (the paper's x-axis)."""
+
+    degree: int
+    mean_latency: float | None
+    """Mean multicast latency of measured completed ops; None if nothing
+    completed (deeply saturated)."""
+
+    p95_latency: float | None
+    issued: int
+    completed: int
+    saturated: bool
+    """True when the offered load exceeded what the system drained."""
+
+    @property
+    def completion_ratio(self) -> float:
+        return self.completed / self.issued if self.issued else 1.0
+
+
+def run_load_experiment(
+    topo: NetworkTopology,
+    params: SimParams,
+    scheme_name: str,
+    degree: int,
+    effective_load: float,
+    duration: int = 200_000,
+    warmup: int = 20_000,
+    drain_factor: float = 1.0,
+    seed: int = 99,
+    saturation_threshold: float = 0.9,
+    min_measured_ops: int = 30,
+    pattern: "str | None" = None,
+    **scheme_kw,
+) -> LoadPoint:
+    """Apply Poisson multicast traffic at one load point and measure latency.
+
+    Args:
+        degree: destinations per multicast (the paper's "d-way").
+        effective_load: ``l * d`` in flits/cycle/node.
+        duration: generation window in cycles.
+        warmup: ops issued before this time are excluded from statistics
+            (the paper's cold-start of the first measurement interval).
+        drain_factor: after generation stops, the simulation runs a further
+            ``drain_factor * duration`` cycles so in-flight ops can finish.
+        saturation_threshold: a point is saturated when fewer than this
+            fraction of measured ops completed within the drain window.
+        min_measured_ops: the generation window is extended (never shortened)
+            so the whole system is expected to issue at least this many
+            measured operations -- very light loads with long messages would
+            otherwise produce empty samples in short runs.
+        pattern: destination-set distribution -- a name from
+            :data:`repro.traffic.patterns.PATTERNS` or a callable; default
+            uniform (the paper's draw).
+    """
+    if degree < 1 or degree >= topo.num_nodes:
+        raise ValueError("degree must be in [1, num_nodes)")
+    if effective_load <= 0:
+        raise ValueError("effective load must be positive")
+    from repro.traffic.patterns import resolve_pattern
+
+    draw_dests = resolve_pattern(pattern)
+    net = SimNetwork(topo, params)
+    scheme = make_scheme(scheme_name, **scheme_kw)
+    scheme.enable_plan_cache()  # deterministic plans; pure speed-up
+    rng = random.Random(seed)
+    # ops per cycle per node: raw load l = effective / d, in flits/cyc/node;
+    # one op injects message_flits flits.
+    rate = effective_load / (degree * params.message_flits)
+    if min_measured_ops > 0:
+        needed = warmup + min_measured_ops / (rate * topo.num_nodes)
+        duration = max(duration, int(needed))
+
+    measured: list[MulticastResult] = []
+    issued = 0
+
+    def issue(node: int) -> None:
+        nonlocal issued
+        t = net.engine.now
+        dests = draw_dests(rng, topo, node, degree)
+        res = scheme.execute(net, node, dests)
+        if t >= warmup:
+            issued += 1
+            measured.append(res)
+        # next arrival for this node
+        gap = rng.expovariate(rate)
+        if t + gap < duration:
+            net.engine.at(t + gap, lambda: issue(node))
+
+    for node in range(topo.num_nodes):
+        first = rng.expovariate(rate)
+        if first < duration:
+            net.engine.at(first, lambda n=node: issue(n))
+
+    net.run(until=duration + drain_factor * duration)
+    # Drop anything still outstanding past the drain horizon.
+    completed = [r for r in measured if r.complete]
+    lat = [r.latency for r in completed]
+    saturated = bool(measured) and (
+        len(completed) < saturation_threshold * len(measured)
+    )
+    summary = summarize(lat) if lat else None
+    return LoadPoint(
+        effective_load=effective_load,
+        degree=degree,
+        mean_latency=summary.mean if summary else None,
+        p95_latency=summary.p95 if summary else None,
+        issued=len(measured),
+        completed=len(completed),
+        saturated=saturated,
+    )
+
+
+def sweep_load(
+    topo: NetworkTopology,
+    params: SimParams,
+    scheme_name: str,
+    degree: int,
+    loads: list[float],
+    **kw,
+) -> list[LoadPoint]:
+    """Latency-vs-load curve: one :func:`run_load_experiment` per point."""
+    return [
+        run_load_experiment(topo, params, scheme_name, degree, load, **kw)
+        for load in loads
+    ]

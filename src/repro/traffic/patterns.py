@@ -1,0 +1,114 @@
+"""Destination-set distributions for multicast traffic.
+
+The paper draws destination sets uniformly; real collective traffic is
+often structured.  These patterns plug into the load driver (``pattern=``)
+and let extension experiments ask how locality changes the NI-vs-switch
+answer.
+
+A pattern is ``fn(rng, topo, source, degree) -> list[int]`` returning
+``degree`` distinct destinations excluding the source.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable
+
+from repro.topology.graph import NetworkTopology
+
+PatternFn = Callable[[random.Random, NetworkTopology, int, int], list[int]]
+
+
+def uniform_pattern(rng: random.Random, topo: NetworkTopology,
+                    source: int, degree: int) -> list[int]:
+    """Uniform over all other nodes (the paper's draw)."""
+    pool = [n for n in range(topo.num_nodes) if n != source]
+    return rng.sample(pool, degree)
+
+
+def clustered_pattern(rng: random.Random, topo: NetworkTopology,
+                      source: int, degree: int) -> list[int]:
+    """Prefer nodes topologically close to the source.
+
+    Candidates are weighted by 1/(1 + switch-graph distance); models
+    collectives over co-located process groups.
+    """
+    from repro.topology.analysis import switch_distances
+
+    src_sw = topo.switch_of_node(source)
+    dist = switch_distances(topo, src_sw)
+    pool = [n for n in range(topo.num_nodes) if n != source]
+    chosen: list[int] = []
+    candidates = list(pool)
+    while len(chosen) < degree:
+        weights = [
+            1.0 / (1 + dist[topo.switch_of_node(n)]) for n in candidates
+        ]
+        pick = rng.choices(range(len(candidates)), weights=weights)[0]
+        chosen.append(candidates.pop(pick))
+    return chosen
+
+
+def hotspot_pattern(rng: random.Random, topo: NetworkTopology,
+                    source: int, degree: int,
+                    hotspot_fraction: float = 0.25,
+                    hotspot_weight: float = 8.0) -> list[int]:
+    """A fixed quarter of the nodes is ``hotspot_weight`` times likelier.
+
+    Models popular servers/root processes drawing most of the traffic.
+    """
+    n = topo.num_nodes
+    n_hot = max(1, int(n * hotspot_fraction))
+    pool = [x for x in range(n) if x != source]
+    chosen: list[int] = []
+    candidates = list(pool)
+    while len(chosen) < degree:
+        weights = [
+            hotspot_weight if c < n_hot else 1.0 for c in candidates
+        ]
+        pick = rng.choices(range(len(candidates)), weights=weights)[0]
+        chosen.append(candidates.pop(pick))
+    return chosen
+
+
+def single_switch_pattern(rng: random.Random, topo: NetworkTopology,
+                          source: int, degree: int) -> list[int]:
+    """All destinations on one (random) switch, as far as its population
+    allows; spills to a uniform draw when the switch is too small."""
+    switches = [
+        s for s in range(topo.num_switches) if topo.nodes_on_switch(s)
+    ]
+    sw = rng.choice(switches)
+    local = [n for n in topo.nodes_on_switch(sw) if n != source]
+    rng.shuffle(local)
+    chosen = local[:degree]
+    if len(chosen) < degree:
+        rest = [
+            n for n in range(topo.num_nodes)
+            if n != source and n not in chosen
+        ]
+        chosen += rng.sample(rest, degree - len(chosen))
+    return chosen
+
+
+PATTERNS: dict[str, PatternFn] = {
+    "uniform": uniform_pattern,
+    "clustered": clustered_pattern,
+    "hotspot": hotspot_pattern,
+    "single-switch": single_switch_pattern,
+}
+"""Registry consumed by the load driver's ``pattern`` argument."""
+
+
+def resolve_pattern(pattern: str | PatternFn | None) -> PatternFn:
+    """Name or callable -> callable (None = uniform)."""
+    if pattern is None:
+        return uniform_pattern
+    if callable(pattern):
+        return pattern
+    try:
+        return PATTERNS[pattern]
+    except KeyError:
+        raise ValueError(
+            f"unknown pattern {pattern!r}; choose from {sorted(PATTERNS)}"
+        )

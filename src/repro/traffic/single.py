@@ -1,0 +1,80 @@
+"""Single-multicast latency experiments (Section 4.2 of the paper).
+
+"Exactly one multicast occurs in the system at any given time and there is
+no other network traffic" -- the best-case latency of each scheme in
+isolation, averaged over several random topologies and several random
+source/destination draws per topology.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.metrics.stats import LatencySummary, summarize
+from repro.multicast import make_scheme
+from repro.multicast.base import MulticastResult
+from repro.params import SimParams
+from repro.sim.network import SimNetwork
+from repro.topology.graph import NetworkTopology
+from repro.topology.irregular import generate_topology_family
+
+
+def measure_single_multicast(
+    topo: NetworkTopology,
+    params: SimParams,
+    scheme_name: str,
+    source: int,
+    dests: list[int],
+    **scheme_kw,
+) -> MulticastResult:
+    """Run one isolated multicast to completion and return its result."""
+    net = SimNetwork(topo, params)
+    scheme = make_scheme(scheme_name, **scheme_kw)
+    result = scheme.execute(net, source, dests)
+    net.run()
+    if not result.complete:
+        raise RuntimeError(
+            f"scheme {scheme_name!r} did not complete (delivered "
+            f"{len(result.delivery_times)}/{len(result.dests)})"
+        )
+    net.assert_quiescent()
+    return result
+
+
+def draw_multicast(
+    rng: random.Random, num_nodes: int, group_size: int
+) -> tuple[int, list[int]]:
+    """A uniform random (source, destination set) of the given degree."""
+    if not 1 <= group_size < num_nodes:
+        raise ValueError("group size must be in [1, num_nodes)")
+    source = rng.randrange(num_nodes)
+    pool = [n for n in range(num_nodes) if n != source]
+    return source, rng.sample(pool, group_size)
+
+
+def average_single_multicast_latency(
+    params: SimParams,
+    scheme_name: str,
+    group_size: int,
+    n_topologies: int = 5,
+    trials_per_topology: int = 3,
+    seed: int = 2024,
+    **scheme_kw,
+) -> LatencySummary:
+    """Mean isolated-multicast latency over topologies and random draws.
+
+    This mirrors the paper's methodology ("our results are averaged over all
+    these topologies"); the same seed gives the same draw sequence for every
+    scheme so comparisons are paired.
+    """
+    topologies = generate_topology_family(params, n_topologies)
+    latencies: list[float] = []
+    for ti, topo in enumerate(topologies):
+        rng = random.Random(seed * 1_000_003 + ti)
+        for _ in range(trials_per_topology):
+            source, dests = draw_multicast(rng, topo.num_nodes, group_size)
+            res = measure_single_multicast(
+                topo, params, scheme_name, source, dests, **scheme_kw
+            )
+            latencies.append(res.latency)
+    return summarize(latencies)

@@ -1,0 +1,13 @@
+"""Terminal rendering: ASCII charts and topology diagrams."""
+
+from repro.visual.ascii import ascii_xy_chart, render_experiment
+from repro.visual.timeline import occupancy_intervals, render_timeline
+from repro.visual.topology_art import render_topology
+
+__all__ = [
+    "ascii_xy_chart",
+    "render_experiment",
+    "render_topology",
+    "render_timeline",
+    "occupancy_intervals",
+]

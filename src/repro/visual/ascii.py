@@ -1,0 +1,99 @@
+"""ASCII x-y charts for experiment results (no plotting dependencies).
+
+The examples and the CLI render latency curves directly in the terminal;
+``None`` y-values (saturated load points) are drawn as ``^`` pinned to the
+chart's top edge.
+"""
+
+from __future__ import annotations
+
+import string
+
+from repro.experiments.base import ExperimentResult, Series
+
+GLYPHS = string.ascii_lowercase
+SATURATED = "^"
+
+
+def ascii_xy_chart(
+    series: list[Series],
+    height: int = 16,
+    col_width: int = 7,
+    y_format: str = "{:>9.0f}",
+) -> str:
+    """Render curves sharing an x grid as a fixed-height ASCII chart.
+
+    Each series gets a letter glyph (legend appended below).  All series
+    must share the same x vector; y values may be None (saturated).
+
+    Raises:
+        ValueError: on empty input, mismatched x vectors, or when no
+            measurable point exists at all.
+    """
+    if not series:
+        raise ValueError("no series to plot")
+    xs = series[0].x
+    if any(s.x != xs for s in series):
+        raise ValueError("all series must share the same x vector")
+    if len(series) > len(GLYPHS):
+        raise ValueError(f"at most {len(GLYPHS)} series supported")
+    ys = [y for s in series for y in s.y if y is not None]
+    if not ys:
+        raise ValueError("no measurable points to plot")
+    y_max, y_min = max(ys), min(ys)
+    span = (y_max - y_min) or 1.0
+
+    width = len(xs) * col_width
+    grid = [[" "] * width for _ in range(height)]
+    for si, s in enumerate(series):
+        glyph = GLYPHS[si]
+        for i, y in enumerate(s.y):
+            col = i * col_width + col_width // 2
+            if y is None:
+                grid[0][col] = SATURATED
+                continue
+            frac = (y - y_min) / span
+            row = height - 1 - round(frac * (height - 1))
+            grid[row][col] = glyph
+
+    margin = len(y_format.format(0))
+    lines = [y_format.format(y_max) + " |" + "".join(grid[0])]
+    for r in range(1, height - 1):
+        lines.append(" " * margin + " |" + "".join(grid[r]))
+    lines.append(y_format.format(y_min) + " |" + "".join(grid[-1]))
+    lines.append(
+        " " * (margin + 2)
+        + "".join(f"{x:^{col_width}g}" for x in xs)
+    )
+    legend = "  ".join(
+        f"{GLYPHS[si]}={s.label}" for si, s in enumerate(series)
+    )
+    lines.append(legend)
+    if any(y is None for s in series for y in s.y):
+        lines.append(f"({SATURATED} = saturated)")
+    return "\n".join(lines)
+
+
+def render_experiment(
+    result: ExperimentResult,
+    select: str | None = None,
+    height: int = 16,
+) -> str:
+    """Chart an experiment's curves, optionally filtered by substring.
+
+    ``select`` keeps only series whose label contains the substring (e.g.
+    ``"16-way"``); series with differing x supports are dropped with a note.
+    """
+    chosen = [
+        s for s in result.series if select is None or select in s.label
+    ]
+    if not chosen:
+        raise ValueError(f"no series match {select!r}")
+    xs = chosen[0].x
+    plottable = [s for s in chosen if s.x == xs]
+    note = ""
+    if len(plottable) < len(chosen):
+        skipped = [s.label for s in chosen if s.x != xs]
+        note = f"\n(skipped mismatched-x series: {', '.join(skipped)})"
+    header = f"{result.title}\n(y = {result.y_label}, x = {result.x_label})\n"
+    return header + ascii_xy_chart(plottable, height=height) + note

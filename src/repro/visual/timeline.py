@@ -1,0 +1,75 @@
+"""Channel-occupancy timelines from trace logs.
+
+Turns a :class:`~repro.sim.tracelog.TraceLog` into a Gantt-style ASCII
+view: one row per channel, one glyph per worm, bars spanning grant-to-
+release.  The fastest way to see where a worm stalled and who it waited for.
+"""
+
+from __future__ import annotations
+
+import string
+
+from repro.sim.tracelog import TraceLog
+
+GLYPHS = string.ascii_lowercase + string.ascii_uppercase + string.digits
+
+
+def occupancy_intervals(
+    trace: TraceLog,
+) -> list[tuple[str, str, float, float]]:
+    """(channel, worm, grant_time, release_time) per channel occupancy.
+
+    Grants without a matching release (still in flight when the trace was
+    read) are dropped.
+    """
+    open_grants: dict[tuple[str, str], float] = {}
+    intervals: list[tuple[str, str, float, float]] = []
+    for rec in trace.records():
+        key = (rec.detail, rec.worm)
+        if rec.event == "grant":
+            open_grants[key] = rec.time
+        elif rec.event == "release":
+            start = open_grants.pop(key, None)
+            if start is not None:
+                intervals.append((rec.detail, rec.worm, start, rec.time))
+    return intervals
+
+
+def render_timeline(
+    trace: TraceLog,
+    width: int = 72,
+    channel_filter: str | None = None,
+) -> str:
+    """ASCII occupancy chart.
+
+    Args:
+        width: columns of the time axis.
+        channel_filter: keep only channels whose name contains this.
+    """
+    intervals = occupancy_intervals(trace)
+    if channel_filter is not None:
+        intervals = [iv for iv in intervals if channel_filter in iv[0]]
+    if not intervals:
+        return "(no completed channel occupancies in trace)"
+    t0 = min(iv[2] for iv in intervals)
+    t1 = max(iv[3] for iv in intervals)
+    span = (t1 - t0) or 1.0
+    worms = sorted({iv[1] for iv in intervals})
+    glyph = {w: GLYPHS[i % len(GLYPHS)] for i, w in enumerate(worms)}
+    channels = sorted({iv[0] for iv in intervals})
+    name_w = max(len(c) for c in channels)
+
+    lines = [f"time {t0:.0f} .. {t1:.0f} ({span:.0f} cycles)"]
+    for ch in channels:
+        row = [" "] * width
+        for c, w, s, e in intervals:
+            if c != ch:
+                continue
+            a = int((s - t0) / span * (width - 1))
+            b = max(a, int((e - t0) / span * (width - 1)))
+            for col in range(a, b + 1):
+                row[col] = glyph[w]
+        lines.append(f"{ch.rjust(name_w)} |{''.join(row)}|")
+    legend = "  ".join(f"{glyph[w]}={w}" for w in worms[: len(GLYPHS)])
+    lines.append(legend)
+    return "\n".join(lines)

@@ -1,0 +1,48 @@
+"""Terminal rendering of an irregular topology as a levelled diagram.
+
+Switches are laid out by BFS level (the routing structure that actually
+matters under up*/down*), with their attached hosts listed beside them and
+links annotated up/down -- a quick way to eyeball why a particular worm
+route or reachability string looks the way it does.
+"""
+
+from __future__ import annotations
+
+from repro.routing.updown import UpDownRouting
+from repro.topology.graph import NetworkTopology
+
+
+def render_topology(
+    topo: NetworkTopology, routing: UpDownRouting | None = None
+) -> str:
+    """Multi-line description of the topology, grouped by BFS level."""
+    rt = routing if routing is not None else UpDownRouting.build(topo)
+    by_level: dict[int, list[int]] = {}
+    for s in range(topo.num_switches):
+        by_level.setdefault(rt.tree.level[s], []).append(s)
+
+    lines = [
+        f"irregular network: {topo.num_switches} switches x "
+        f"{topo.ports_per_switch} ports, {topo.num_nodes} hosts, "
+        f"{len(topo.links)} links (root sw{rt.tree.root})"
+    ]
+    for level in sorted(by_level):
+        lines.append(f"level {level}:")
+        for s in sorted(by_level[level]):
+            hosts = topo.nodes_on_switch(s)
+            host_txt = (
+                "hosts " + ",".join(map(str, hosts)) if hosts else "no hosts"
+            )
+            ups = sorted(
+                lk.other_end(s).switch for lk in rt.up_links_of(s)
+            )
+            downs = sorted(
+                lk.other_end(s).switch for lk in rt.down_links_of(s)
+            )
+            parts = [f"  sw{s} ({host_txt})"]
+            if ups:
+                parts.append("up->" + ",".join(f"sw{u}" for u in ups))
+            if downs:
+                parts.append("down->" + ",".join(f"sw{d}" for d in downs))
+            lines.append(" ".join(parts))
+    return "\n".join(lines)

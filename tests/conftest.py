@@ -1,0 +1,10 @@
+"""Shared pytest fixtures."""
+
+import pytest
+
+from repro.params import SimParams
+
+
+@pytest.fixture
+def default_params() -> SimParams:
+    return SimParams()

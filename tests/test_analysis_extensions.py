@@ -1,0 +1,173 @@
+"""Tests for architectural requirements, traffic patterns, and the
+saturation predictor."""
+
+import random
+
+import pytest
+
+from repro.analysis.requirements import (
+    ni_scheme_requirements,
+    node_id_bits,
+    path_scheme_requirements,
+    render_requirements,
+    requirements_table,
+    tree_scheme_requirements,
+)
+from repro.analysis.saturation import predict_saturation
+from repro.params import SimParams
+from repro.sim.network import SimNetwork
+from repro.topology.irregular import generate_irregular_topology
+from repro.traffic.load import run_load_experiment
+from repro.traffic.patterns import (
+    PATTERNS,
+    clustered_pattern,
+    hotspot_pattern,
+    resolve_pattern,
+    single_switch_pattern,
+    uniform_pattern,
+)
+
+
+def default_net(seed=3, **kw) -> SimNetwork:
+    p = SimParams(**kw)
+    return SimNetwork(generate_irregular_topology(p, seed=seed), p)
+
+
+class TestRequirements:
+    def test_node_id_bits(self):
+        assert node_id_bits(SimParams(num_nodes=32)) == 5
+        assert node_id_bits(SimParams(num_nodes=33, num_switches=16)) == 6
+
+    def test_tree_scheme_scales_with_system_size(self):
+        small = tree_scheme_requirements(default_net())
+        big_params = SimParams(num_nodes=64, num_switches=16)
+        big_net = SimNetwork(
+            generate_irregular_topology(big_params, seed=3), big_params
+        )
+        big = tree_scheme_requirements(big_net)
+        assert big.header_bits == 64 and small.header_bits == 32
+        assert big.switch_storage_bits > small.switch_storage_bits
+        assert big.switch_replication and not big.ni_firmware
+
+    def test_ni_scheme_needs_no_switch_support(self):
+        r = ni_scheme_requirements(default_net())
+        assert r.switch_storage_bits == 0
+        assert not r.switch_replication
+        assert r.ni_firmware
+        assert r.ni_buffer_flits > 0
+
+    def test_path_scheme_header_grows_with_path(self):
+        net = default_net()
+        r = path_scheme_requirements(net)
+        # (node id + port mask) per switch on the worst-case path
+        assert r.header_bits == (5 + 8) * net.topo.num_switches
+        assert r.switch_storage_bits == 0
+
+    def test_table_and_render(self):
+        rows = requirements_table(default_net())
+        assert [r.scheme for r in rows] == ["tree", "path", "ni"]
+        text = render_requirements(rows)
+        assert "tree" in text and "NI firmware" in text
+
+
+class TestPatterns:
+    @pytest.mark.parametrize("name", sorted(PATTERNS))
+    def test_patterns_return_valid_sets(self, name):
+        net = default_net()
+        fn = PATTERNS[name]
+        rng = random.Random(0)
+        for _ in range(20):
+            dests = fn(rng, net.topo, 0, 7)
+            assert len(dests) == 7
+            assert len(set(dests)) == 7
+            assert 0 not in dests
+            assert all(0 <= d < 32 for d in dests)
+
+    def test_clustered_prefers_near_switches(self):
+        from repro.topology.analysis import switch_distances
+
+        net = default_net()
+        topo = net.topo
+        rng_u, rng_c = random.Random(1), random.Random(1)
+        dist = switch_distances(topo, topo.switch_of_node(0))
+
+        def mean_dist(fn, rng):
+            total = 0.0
+            for _ in range(60):
+                for d in fn(rng, topo, 0, 6):
+                    total += dist[topo.switch_of_node(d)]
+            return total / (60 * 6)
+
+        assert mean_dist(clustered_pattern, rng_c) < mean_dist(
+            uniform_pattern, rng_u
+        )
+
+    def test_hotspot_prefers_low_ids(self):
+        net = default_net()
+        rng = random.Random(2)
+        hits = [0] * 32
+        for _ in range(100):
+            for d in hotspot_pattern(rng, net.topo, 31, 5):
+                hits[d] += 1
+        hot = sum(hits[:8])
+        cold = sum(hits[8:])
+        assert hot > cold
+
+    def test_single_switch_concentrates(self):
+        net = default_net()
+        rng = random.Random(3)
+        dests = single_switch_pattern(rng, net.topo, 0, 3)
+        switches = {net.topo.switch_of_node(d) for d in dests}
+        assert len(switches) <= 3  # mostly one switch, spill allowed
+
+    def test_resolve(self):
+        assert resolve_pattern(None) is uniform_pattern
+        assert resolve_pattern("uniform") is uniform_pattern
+        assert resolve_pattern(uniform_pattern) is uniform_pattern
+        with pytest.raises(ValueError):
+            resolve_pattern("bogus")
+
+    def test_load_driver_accepts_pattern(self):
+        net = default_net()
+        point = run_load_experiment(
+            net.topo, net.params, "tree", degree=4, effective_load=0.02,
+            duration=30_000, warmup=3_000, pattern="clustered",
+        )
+        assert point.completed > 0
+
+
+class TestSaturationPredictor:
+    def test_scheme_ordering(self):
+        net = default_net()
+        sat = {
+            s: predict_saturation(net, s, 16).saturation_load
+            for s in ("binomial", "ni", "path", "tree")
+        }
+        assert sat["binomial"] == min(sat.values())
+        assert sat["tree"] == max(sat.values())
+
+    def test_prediction_brackets_simulation(self):
+        # Simulated mean latency at half the predicted saturation load must
+        # still be sane; at twice it, the system must be badly congested.
+        net = default_net()
+        est = predict_saturation(net, "tree", 16)
+
+        def sim_latency(load):
+            p = run_load_experiment(
+                net.topo, net.params, "tree", degree=16,
+                effective_load=load, duration=60_000, warmup=6_000,
+            )
+            return float("inf") if p.saturated or p.mean_latency is None \
+                else p.mean_latency
+
+        below = sim_latency(est.saturation_load * 0.5)
+        above = sim_latency(min(est.saturation_load * 2.0, 0.5))
+        assert below < 20_000
+        assert above > 2 * below
+
+    def test_utilizations_positive(self):
+        net = default_net()
+        est = predict_saturation(net, "path", 4)
+        assert est.bottleneck in est.utilization_per_unit_load
+        assert all(v >= 0 for v in est.utilization_per_unit_load.values())
+        assert est.saturation_load > 0

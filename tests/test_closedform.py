@@ -1,0 +1,107 @@
+"""Model-vs-model: simulator output must match the closed-form predictions
+on contention-free cases."""
+
+import random
+
+import pytest
+
+from repro.analysis.closedform import (
+    binomial_multicast_latency_bound,
+    tree_worm_latency,
+    unicast_message_latency,
+    unicast_packet_network_latency,
+)
+from repro.multicast import make_scheme
+from repro.params import SimParams
+from repro.sim.network import SimNetwork
+from repro.sim.worm import Worm
+from repro.topology.irregular import generate_irregular_topology
+from tests.topo_fixtures import make_line
+
+
+class TestUnicastClosedForm:
+    @pytest.mark.parametrize("n_switches", [1, 2, 3, 5, 8])
+    def test_raw_packet_latency_matches_on_lines(self, n_switches):
+        hosts = 2 if n_switches == 1 else 1
+        net = SimNetwork(make_line(n_switches, hosts_per_switch=hosts), SimParams())
+        src, dst = 0, net.topo.num_nodes - 1
+        res = []
+        worm = Worm(
+            net.engine, net.params, net.unicast_steer(dst),
+            on_delivered=lambda n, t: res.append(t), rng=net.rng,
+        )
+        worm.start(net.fabric.inject[src], None)
+        net.run()
+        hops = net.routing.distance(
+            net.topo.switch_of_node(src), net.topo.switch_of_node(dst)
+        )
+        assert res[0] == pytest.approx(
+            unicast_packet_network_latency(net.params, hops)
+        )
+
+    def test_message_latency_matches_on_random_topologies(self):
+        for seed in range(5):
+            params = SimParams()
+            topo = generate_irregular_topology(params, seed=seed)
+            net = SimNetwork(topo, params)
+            rng = random.Random(seed)
+            src = rng.randrange(32)
+            dst = rng.choice([n for n in range(32) if n != src])
+            res = make_scheme("binomial").execute(net, src, [dst])
+            net.run()
+            hops = net.routing.distance(
+                topo.switch_of_node(src), topo.switch_of_node(dst)
+            )
+            assert res.latency == pytest.approx(
+                unicast_message_latency(params, hops)
+            )
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            unicast_packet_network_latency(SimParams(), -1)
+        with pytest.raises(ValueError):
+            unicast_message_latency(SimParams(message_packets=2), 1)
+
+
+class TestTreeWormClosedForm:
+    def test_matches_simulator_on_random_cases(self):
+        for seed in range(6):
+            params = SimParams()
+            topo = generate_irregular_topology(params, seed=seed)
+            net = SimNetwork(topo, params)
+            rng = random.Random(seed * 13 + 1)
+            src = rng.randrange(32)
+            dests = rng.sample([n for n in range(32) if n != src], 10)
+            predicted = tree_worm_latency(net, src, dests)
+            sim_net = SimNetwork(topo, params)
+            res = make_scheme("tree").execute(sim_net, src, dests)
+            sim_net.run()
+            # The worm replicates; branches never contend on distinct
+            # channels, so the prediction is exact up to one grant event
+            # ordering cycle.
+            assert res.latency == pytest.approx(predicted, abs=2.0)
+
+    def test_multi_packet_rejected(self):
+        params = SimParams(message_packets=2)
+        topo = generate_irregular_topology(params, seed=1)
+        net = SimNetwork(topo, params)
+        with pytest.raises(ValueError):
+            tree_worm_latency(net, 0, [1])
+
+
+class TestBinomialBound:
+    def test_simulator_respects_lower_bound(self):
+        for n_dests in (1, 3, 7, 15, 31):
+            params = SimParams()
+            topo = generate_irregular_topology(params, seed=2)
+            net = SimNetwork(topo, params)
+            dests = list(range(1, n_dests + 1))
+            res = make_scheme("binomial").execute(net, 0, dests)
+            net.run()
+            assert res.latency >= binomial_multicast_latency_bound(
+                params, n_dests
+            )
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            binomial_multicast_latency_bound(SimParams(), 0)

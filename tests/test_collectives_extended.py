@@ -1,0 +1,110 @@
+"""Tests for the extended collectives: gather, scatter, allreduce."""
+
+import pytest
+
+from repro.collectives import (
+    allreduce,
+    broadcast,
+    gather_to_root,
+    reduce_to_root,
+    scatter_from_root,
+)
+from repro.params import SimParams
+from repro.sim.network import SimNetwork
+from repro.topology.irregular import generate_irregular_topology
+
+
+def default_net(seed=3, **kw) -> SimNetwork:
+    p = SimParams(**kw)
+    return SimNetwork(generate_irregular_topology(p, seed=seed), p)
+
+
+class TestGather:
+    def test_all_senders_recorded(self):
+        net = default_net()
+        res = gather_to_root(net, 0)
+        net.run()
+        assert res.complete
+        assert set(res.node_times) == set(range(1, 32))
+        net.assert_quiescent()
+
+    def test_gather_slower_than_reduce(self):
+        # Direct gather funnels 31 messages into one NI; the combining tree
+        # parallelises, so reduce completes earlier.
+        g_net = default_net()
+        g = gather_to_root(g_net, 0)
+        g_net.run()
+        r_net = default_net()
+        r = reduce_to_root(r_net, 0)
+        r_net.run()
+        assert r.latency < g.latency
+
+    def test_nonzero_root(self):
+        net = default_net()
+        res = gather_to_root(net, 5)
+        net.run()
+        assert res.complete
+        assert 5 not in res.node_times
+
+
+class TestScatter:
+    def test_everyone_receives(self):
+        net = default_net()
+        res = scatter_from_root(net, 0)
+        net.run()
+        assert res.complete
+        assert set(res.node_times) == set(range(1, 32))
+        net.assert_quiescent()
+
+    def test_scatter_slower_than_broadcast(self):
+        # Personalised sends serialise on the root; a broadcast multicast
+        # of the same message size is strictly cheaper.
+        s_net = default_net()
+        s = scatter_from_root(s_net, 0)
+        s_net.run()
+        b_net = default_net()
+        b = broadcast(b_net, 0, "tree")
+        b_net.run()
+        assert b.latency < s.latency
+
+    def test_deliveries_spread_over_time(self):
+        net = default_net()
+        res = scatter_from_root(net, 0)
+        net.run()
+        times = sorted(res.node_times.values())
+        # Root serialisation: the last delivery is far behind the first.
+        assert times[-1] - times[0] > net.params.o_host * 5
+
+
+class TestAllreduce:
+    @pytest.mark.parametrize("scheme", ["tree", "ni"])
+    def test_completes_and_covers_all(self, scheme):
+        net = default_net()
+        res = allreduce(net, 0, scheme)
+        net.run()
+        assert res.complete
+        assert set(res.node_times) == set(range(1, 32))
+        net.assert_quiescent()
+
+    def test_allreduce_exceeds_both_legs(self):
+        net = default_net()
+        ar = allreduce(net, 0, "tree")
+        net.run()
+        r_net = default_net()
+        r = reduce_to_root(r_net, 0)
+        r_net.run()
+        b_net = default_net()
+        b = broadcast(b_net, 0, "tree")
+        b_net.run()
+        assert ar.latency >= r.latency
+        assert ar.latency >= b.latency
+        assert ar.latency <= r.latency + b.latency + 1e-6
+
+    def test_tree_allreduce_beats_binomial_allreduce(self):
+        lat = {}
+        for scheme in ("tree", "binomial"):
+            net = default_net()
+            res = allreduce(net, 0, scheme)
+            net.run()
+            lat[scheme] = res.latency
+        assert lat["tree"] < lat["binomial"]

@@ -1,0 +1,22 @@
+"""The executable abstract: all four paper conclusions must hold."""
+
+from repro.experiments.cli import main as cli_main
+from repro.experiments.conclusions import check_conclusions, render_conclusions
+
+
+class TestConclusions:
+    def test_all_four_hold(self):
+        checks = check_conclusions(n_topologies=2, trials=2)
+        assert len(checks) == 4
+        for c in checks:
+            assert c.holds, f"{c.claim}: {c.evidence}"
+
+    def test_render(self):
+        checks = check_conclusions(n_topologies=1, trials=1)
+        out = render_conclusions(checks)
+        assert out.count("HOLDS") + out.count("FAILS") == 4
+
+    def test_cli(self, capsys):
+        assert cli_main(["conclusions"]) == 0
+        out = capsys.readouterr().out
+        assert "HOLDS" in out

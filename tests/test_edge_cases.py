@@ -1,0 +1,133 @@
+"""Edge-case coverage across the stack: odd parameters, tiny systems,
+control-packet worms, and mid-run engine interaction."""
+
+import random
+
+import pytest
+
+from repro.multicast import make_scheme
+from repro.params import SimParams
+from repro.sim.network import SimNetwork
+from repro.sim.worm import Worm
+from repro.topology.irregular import generate_irregular_topology
+from tests.topo_fixtures import make_line
+
+
+class TestTinySystems:
+    def test_two_node_single_switch(self):
+        p = SimParams(num_nodes=2, num_switches=1, ports_per_switch=4)
+        topo = generate_irregular_topology(p)
+        for scheme in ("binomial", "ni", "path", "tree"):
+            net = SimNetwork(topo, p)
+            res = make_scheme(scheme).execute(net, 0, [1])
+            net.run()
+            assert res.complete
+
+    def test_two_switches_two_nodes(self):
+        p = SimParams(num_nodes=2, num_switches=2, ports_per_switch=4)
+        topo = generate_irregular_topology(p, seed=1)
+        net = SimNetwork(topo, p)
+        res = make_scheme("tree").execute(net, 0, [1])
+        net.run()
+        assert res.complete
+
+
+class TestOddParameters:
+    def test_minimum_packet_size(self):
+        p = SimParams(packet_flits=2)
+        topo = generate_irregular_topology(p, seed=3)
+        net = SimNetwork(topo, p)
+        res = make_scheme("tree").execute(net, 0, [5, 9])
+        net.run()
+        assert res.complete
+
+    def test_zero_host_overhead(self):
+        p = SimParams(o_host=0)
+        topo = generate_irregular_topology(p, seed=3)
+        net = SimNetwork(topo, p)
+        res = make_scheme("path").execute(net, 0, [5, 9, 17])
+        net.run()
+        assert res.complete
+
+    def test_large_delays(self):
+        p = SimParams(link_delay=5, switch_delay=7, routing_delay=3)
+        topo = generate_irregular_topology(p, seed=3)
+        net = SimNetwork(topo, p)
+        res = make_scheme("ni").execute(net, 0, [5, 9])
+        net.run()
+        assert res.complete
+
+    def test_tiny_buffer_heavy_multicast(self):
+        p = SimParams(input_buffer_flits=1)
+        topo = generate_irregular_topology(p, seed=3)
+        net = SimNetwork(topo, p)
+        dests = random.Random(0).sample(range(1, 32), 20)
+        res = make_scheme("tree").execute(net, 0, dests)
+        net.run()
+        assert res.complete
+        net.assert_quiescent()
+
+    def test_slow_io_bus(self):
+        p = SimParams(io_bus_flits_per_cycle=0.25)  # bus slower than link
+        topo = generate_irregular_topology(p, seed=3)
+        net = SimNetwork(topo, p)
+        res = make_scheme("ni").execute(net, 0, [5, 9, 13])
+        net.run()
+        assert res.complete
+
+
+class TestControlWorms:
+    def test_length_override(self):
+        # Collectives send short control packets; the worm length override
+        # must shorten delivery by exactly the flit difference.
+        net = SimNetwork(make_line(3), SimParams())
+        lat = []
+        for length in (128, 8):
+            start = net.engine.now
+            w = Worm(net.engine, net.params, net.unicast_steer(2),
+                     on_delivered=lambda _n, t: lat.append(t - start), rng=net.rng,
+                     length=length)
+            w.start(net.fabric.inject[0], None)
+            net.run()
+            net.assert_quiescent()
+        assert lat[0] - lat[1] == 120.0
+
+
+class TestEngineInteraction:
+    def test_run_until_mid_multicast_then_resume(self):
+        p = SimParams()
+        topo = generate_irregular_topology(p, seed=3)
+        net = SimNetwork(topo, p)
+        res = make_scheme("tree").execute(net, 0, [5, 9, 17])
+        net.run(until=100)  # long before anything completes
+        assert not res.complete
+        net.run()
+        assert res.complete
+
+    def test_interleaved_ops_same_network(self):
+        p = SimParams()
+        topo = generate_irregular_topology(p, seed=3)
+        net = SimNetwork(topo, p)
+        scheme = make_scheme("tree")
+        r1 = scheme.execute(net, 0, [5, 9])
+        net.engine.at(500, lambda: results.append(scheme.execute(net, 3, [11, 20])))
+        results: list = []
+        net.run()
+        assert r1.complete
+        assert results and results[0].complete
+
+
+class TestConcurrentDistinctSchemes:
+    def test_mixed_scheme_traffic_coexists(self):
+        p = SimParams()
+        topo = generate_irregular_topology(p, seed=3)
+        net = SimNetwork(topo, p)
+        rng = random.Random(0)
+        results = []
+        for i, name in enumerate(("tree", "path", "ni", "binomial")):
+            src = rng.randrange(32)
+            dests = rng.sample([n for n in range(32) if n != src], 6)
+            results.append(make_scheme(name).execute(net, src, dests))
+        net.run()
+        assert all(r.complete for r in results)
+        net.assert_quiescent()

@@ -1,0 +1,162 @@
+"""Unit tests for the event engine and contention resources."""
+
+import pytest
+
+from repro.sim.engine import Engine
+from repro.sim.resources import FifoResource, ThroughputResource
+
+
+class TestEngine:
+    def test_events_fire_in_time_order(self):
+        eng = Engine()
+        log = []
+        eng.at(5, lambda: log.append("b"))
+        eng.at(2, lambda: log.append("a"))
+        eng.at(9, lambda: log.append("c"))
+        eng.run()
+        assert log == ["a", "b", "c"]
+        assert eng.now == 9
+
+    def test_ties_fire_in_schedule_order(self):
+        eng = Engine()
+        log = []
+        for tag in "xyz":
+            eng.at(3, lambda t=tag: log.append(t))
+        eng.run()
+        assert log == ["x", "y", "z"]
+
+    def test_after_is_relative(self):
+        eng = Engine()
+        times = []
+        eng.at(10, lambda: eng.after(5, lambda: times.append(eng.now)))
+        eng.run()
+        assert times == [15]
+
+    def test_past_scheduling_rejected(self):
+        eng = Engine()
+        eng.at(10, lambda: None)
+        eng.run()
+        with pytest.raises(ValueError):
+            eng.at(5, lambda: None)
+        with pytest.raises(ValueError):
+            eng.after(-1, lambda: None)
+
+    def test_run_until_stops_clock(self):
+        eng = Engine()
+        fired = []
+        eng.at(100, lambda: fired.append(1))
+        eng.run(until=50)
+        assert not fired and eng.now == 50
+        eng.run()
+        assert fired and eng.now == 100
+
+    def test_max_events_guard(self):
+        eng = Engine()
+
+        def loop():
+            eng.after(0, loop)
+
+        eng.after(0, loop)
+        with pytest.raises(RuntimeError, match="max_events"):
+            eng.run(max_events=100)
+
+    def test_step_and_pending(self):
+        eng = Engine()
+        eng.at(1, lambda: None)
+        eng.at(2, lambda: None)
+        assert eng.pending == 2
+        assert eng.step()
+        assert eng.pending == 1
+        assert eng.step()
+        assert not eng.step()
+
+
+class TestFifoResource:
+    def test_immediate_grant_then_queue(self):
+        eng = Engine()
+        res = FifoResource(eng, "r")
+        order = []
+        res.request(lambda: order.append(("a", eng.now)))
+        res.request(lambda: order.append(("b", eng.now)))
+        assert order == [("a", 0)]  # a granted synchronously, b queued
+        eng.at(10, res.release)
+        eng.run()
+        assert order == [("a", 0), ("b", 10)]
+
+    def test_fifo_order(self):
+        eng = Engine()
+        res = FifoResource(eng, "r")
+        order = []
+        for tag in "abcd":
+            res.request(lambda t=tag: order.append(t))
+        for _ in range(4):
+            eng.after(1, res.release)
+            eng.run()
+        assert order == list("abcd")
+
+    def test_release_idle_raises(self):
+        eng = Engine()
+        res = FifoResource(eng, "r")
+        with pytest.raises(RuntimeError):
+            res.release()
+
+    def test_hold_for(self):
+        eng = Engine()
+        res = FifoResource(eng, "cpu")
+        done = []
+        res.hold_for(100, lambda: done.append(eng.now))
+        res.hold_for(50, lambda: done.append(eng.now))
+        eng.run()
+        assert done == [100, 150]  # serialized
+
+    def test_queue_length(self):
+        eng = Engine()
+        res = FifoResource(eng, "r")
+        res.request(lambda: None)
+        res.request(lambda: None)
+        res.request(lambda: None)
+        assert res.busy and res.queue_length == 2
+
+
+class TestThroughputResource:
+    def test_single_transfer_time(self):
+        eng = Engine()
+        bus = ThroughputResource(eng, rate=2.0)
+        done = []
+        bus.transfer(100, lambda: done.append(eng.now))
+        eng.run()
+        assert done == [50.0]
+
+    def test_transfers_serialize(self):
+        eng = Engine()
+        bus = ThroughputResource(eng, rate=2.0)
+        done = []
+        bus.transfer(100, lambda: done.append(("a", eng.now)))
+        bus.transfer(100, lambda: done.append(("b", eng.now)))
+        eng.run()
+        assert done == [("a", 50.0), ("b", 100.0)]
+
+    def test_idle_gap_not_accumulated(self):
+        eng = Engine()
+        bus = ThroughputResource(eng, rate=1.0)
+        done = []
+        bus.transfer(10, lambda: done.append(eng.now))
+        eng.at(100, lambda: bus.transfer(10, lambda: done.append(eng.now)))
+        eng.run()
+        assert done == [10.0, 110.0]
+
+    def test_invalid_args(self):
+        eng = Engine()
+        with pytest.raises(ValueError):
+            ThroughputResource(eng, rate=0)
+        bus = ThroughputResource(eng, rate=1.0)
+        with pytest.raises(ValueError):
+            bus.transfer(-1, lambda: None)
+
+    def test_counters(self):
+        eng = Engine()
+        bus = ThroughputResource(eng, rate=1.0)
+        bus.transfer(5, lambda: None)
+        bus.transfer(7, lambda: None)
+        eng.run()
+        assert bus.transfers == 2 and bus.flits_moved == 12

@@ -1,0 +1,41 @@
+"""Smoke tests: every example application runs end to end.
+
+Examples are user-facing deliverables; these tests keep them executable as
+the library evolves.  Each runs as a subprocess exactly as a user would.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+CASES = [
+    ("quickstart.py", ["3"], "winner: tree"),
+    ("topology_explorer.py", ["3"], "multicast plans"),
+    ("collective_ops.py", ["3"], "broadcast"),
+    ("fault_tolerance.py", ["3"], "reconfiguration"),
+    ("single_multicast_study.py", ["--quick"], "winner"),
+    ("load_saturation_study.py", ["--quick", "--degree", "4"], "saturation"),
+    ("design_space.py", ["--quick"], "verdict"),
+]
+
+
+@pytest.mark.parametrize("script,args,expect", CASES,
+                         ids=[c[0] for c in CASES])
+def test_example_runs(script, args, expect):
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / script), *args],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert expect in proc.stdout
+
+
+def test_all_examples_are_covered():
+    scripts = {p.name for p in EXAMPLES.glob("*.py")}
+    assert scripts == {c[0] for c in CASES}

@@ -1,0 +1,106 @@
+"""Tests for link-fault injection and post-reconfiguration behaviour."""
+
+import random
+
+import pytest
+
+from repro.multicast import make_scheme
+from repro.params import SimParams
+from repro.routing.deadlock import verify_deadlock_free
+from repro.routing.updown import UpDownRouting
+from repro.sim.network import SimNetwork
+from repro.topology.faults import degrade, removable_links, remove_link
+from repro.topology.irregular import generate_irregular_topology
+from tests.topo_fixtures import make_diamond, make_line
+
+
+class TestRemoveLink:
+    def test_removes_exactly_one(self):
+        topo = make_diamond()
+        degraded = remove_link(topo, 3)
+        assert len(degraded.links) == 3
+        assert all(lk.link_id != 3 for lk in degraded.links)
+        assert degraded.is_connected()
+
+    def test_ports_freed(self):
+        topo = make_diamond()
+        before = topo.free_ports(2)
+        degraded = remove_link(topo, 3)
+        assert degraded.free_ports(2) == before + 1
+
+    def test_unknown_link_rejected(self):
+        with pytest.raises(ValueError, match="no link"):
+            remove_link(make_diamond(), 99)
+
+    def test_disconnecting_removal_rejected(self):
+        topo = make_line(3)  # every link is a bridge
+        with pytest.raises(ValueError, match="disconnects"):
+            remove_link(topo, 0)
+
+    def test_removable_links(self):
+        assert removable_links(make_line(3)) == []
+        assert set(removable_links(make_diamond())) == {0, 1, 2, 3}
+
+
+class TestDegrade:
+    def test_zero_failures_is_identity_shape(self):
+        topo = make_diamond()
+        degraded, failed = degrade(topo, 0)
+        assert failed == []
+        assert len(degraded.links) == 4
+
+    def test_multiple_failures_keep_connected(self):
+        topo = generate_irregular_topology(SimParams(), seed=3)
+        degraded, failed = degrade(topo, 3, random.Random(1))
+        assert len(failed) == 3
+        assert degraded.is_connected()
+        assert len(degraded.links) == len(topo.links) - 3
+
+    def test_deterministic_with_seeded_rng(self):
+        topo = generate_irregular_topology(SimParams(), seed=3)
+        _d1, f1 = degrade(topo, 2, random.Random(5))
+        _d2, f2 = degrade(topo, 2, random.Random(5))
+        assert f1 == f2
+
+    def test_too_many_failures_rejected(self):
+        with pytest.raises(ValueError, match="cannot fail"):
+            degrade(make_line(4), 1)
+        with pytest.raises(ValueError):
+            degrade(make_diamond(), -1)
+
+
+class TestReconfiguration:
+    def test_routing_recomputed_and_deadlock_free(self):
+        topo = generate_irregular_topology(SimParams(), seed=3)
+        degraded, _ = degrade(topo, 2, random.Random(7))
+        rt = UpDownRouting.build(degraded)
+        verify_deadlock_free(degraded, rt)
+
+    @pytest.mark.parametrize("scheme", ["binomial", "ni", "path", "tree"])
+    def test_multicast_survives_failures(self, scheme):
+        params = SimParams()
+        topo = generate_irregular_topology(params, seed=3)
+        degraded, _ = degrade(topo, 2, random.Random(7))
+        net = SimNetwork(degraded, params)
+        dests = random.Random(0).sample(range(1, 32), 10)
+        res = make_scheme(scheme).execute(net, 0, dests)
+        net.run()
+        assert res.complete
+        net.assert_quiescent()
+
+    def test_failures_never_speed_up_tree_multicast_much(self):
+        # Losing links can only shrink the set of legal routes; latency may
+        # rise (longer climbs) but should not collapse.
+        params = SimParams()
+        topo = generate_irregular_topology(params, seed=3)
+        dests = random.Random(0).sample(range(1, 32), 12)
+
+        def latency(t):
+            net = SimNetwork(t, params)
+            res = make_scheme("tree").execute(net, 0, dests)
+            net.run()
+            return res.latency
+
+        healthy = latency(topo)
+        degraded, _ = degrade(topo, 2, random.Random(7))
+        assert latency(degraded) >= healthy - 10

@@ -1,0 +1,51 @@
+"""Golden regression pins: exact headline numbers on the reference scenario.
+
+The simulation is deterministic, so these values are stable across runs and
+platforms; any change means the *model* changed and EXPERIMENTS.md /
+README.md need re-verification.  Update deliberately, never casually.
+"""
+
+import random
+
+import pytest
+
+from repro.multicast import make_scheme
+from repro.params import SimParams
+from repro.sim.network import SimNetwork
+from repro.topology.irregular import generate_irregular_topology
+
+GOLDEN_SINGLE_15DEST = {
+    "tree": 3239.0,
+    "path": 6598.0,
+    "ni": 6629.0,
+    "binomial": 12918.0,
+}
+
+
+def reference_scenario():
+    params = SimParams()
+    topo = generate_irregular_topology(params, seed=3)
+    dests = random.Random(3).sample(range(1, 32), 15)
+    return topo, params, dests
+
+
+class TestGoldenNumbers:
+    @pytest.mark.parametrize("scheme,expected",
+                             sorted(GOLDEN_SINGLE_15DEST.items()))
+    def test_single_multicast_latency(self, scheme, expected):
+        topo, params, dests = reference_scenario()
+        net = SimNetwork(topo, params)
+        res = make_scheme(scheme).execute(net, 0, dests)
+        net.run()
+        assert res.latency == pytest.approx(expected, abs=0.5), (
+            f"{scheme} latency moved from its golden value; if the model "
+            "change is intentional, update this pin and re-verify "
+            "EXPERIMENTS.md"
+        )
+
+    def test_headline_ordering(self):
+        g = GOLDEN_SINGLE_15DEST
+        assert g["tree"] < g["path"] <= g["ni"] < g["binomial"]
+        # the README's headline factors
+        assert g["binomial"] / g["tree"] == pytest.approx(4.0, abs=0.2)
+        assert g["ni"] / g["tree"] == pytest.approx(2.05, abs=0.15)

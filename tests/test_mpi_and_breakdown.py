@@ -1,0 +1,101 @@
+"""Tests for the MPI facade and the latency decomposition."""
+
+import random
+
+import pytest
+
+from repro.metrics.breakdown import decompose_multicast
+from repro.mpi import Communicator
+from repro.params import SimParams
+from repro.sim.network import SimNetwork
+from repro.topology.irregular import generate_irregular_topology
+
+
+def default_net(seed=3, **kw) -> SimNetwork:
+    p = SimParams(**kw)
+    return SimNetwork(generate_irregular_topology(p, seed=seed), p)
+
+
+class TestCommunicator:
+    def test_size(self):
+        comm = Communicator(default_net())
+        assert comm.size == 32
+
+    @pytest.mark.parametrize(
+        "op", ["bcast", "barrier", "reduce", "allreduce", "gather", "scatter"]
+    )
+    def test_all_collectives_complete(self, op):
+        comm = Communicator(default_net())
+        lat = comm.time(op)
+        assert lat > 0
+        comm.net.assert_quiescent()
+
+    def test_scheme_choice_affects_bcast(self):
+        lat = {}
+        for scheme in ("tree", "binomial"):
+            comm = Communicator(default_net(), multicast_scheme=scheme)
+            lat[scheme] = comm.time("bcast")
+        assert lat["tree"] < lat["binomial"]
+
+    def test_nonzero_root(self):
+        comm = Communicator(default_net())
+        assert comm.time("bcast", root=7) > 0
+
+    def test_invalid_root_and_op(self):
+        comm = Communicator(default_net())
+        with pytest.raises(ValueError):
+            comm.bcast(99)
+        with pytest.raises(ValueError):
+            comm.time("run")
+        with pytest.raises(ValueError):
+            comm.time("nonexistent")
+
+    def test_subgroups_via_manager(self):
+        comm = Communicator(default_net())
+        g = comm.groups.create(0, [4, 9, 12])
+        res = g.send()
+        comm.run()
+        assert res.complete
+
+
+class TestBreakdown:
+    def topo_params(self):
+        p = SimParams()
+        return generate_irregular_topology(p, seed=3), p
+
+    @pytest.mark.parametrize("scheme", ["binomial", "ni", "path", "tree"])
+    def test_components_sum(self, scheme):
+        topo, p = self.topo_params()
+        dests = random.Random(0).sample(range(1, 32), 10)
+        b = decompose_multicast(topo, p, scheme, 0, dests)
+        assert b.wire + b.software == pytest.approx(b.isolated_total)
+        assert b.contention is None
+        assert 0 < b.software_fraction < 1
+
+    def test_software_dominates_at_paper_defaults(self):
+        # The paper's Section 3.1 claim, quantified: software overhead is
+        # the dominant component for every scheme at default parameters.
+        topo, p = self.topo_params()
+        dests = random.Random(1).sample(range(1, 32), 12)
+        for scheme in ("binomial", "ni", "path", "tree"):
+            b = decompose_multicast(topo, p, scheme, 0, dests)
+            assert b.software_fraction > 0.5, scheme
+
+    def test_tree_has_smallest_software_share(self):
+        topo, p = self.topo_params()
+        dests = random.Random(2).sample(range(1, 32), 12)
+        sw = {
+            s: decompose_multicast(topo, p, s, 0, dests).software
+            for s in ("binomial", "ni", "path", "tree")
+        }
+        assert sw["tree"] == min(sw.values())
+        assert sw["binomial"] == max(sw.values())
+
+    def test_contention_component(self):
+        topo, p = self.topo_params()
+        dests = random.Random(3).sample(range(1, 32), 8)
+        b = decompose_multicast(
+            topo, p, "tree", 0, dests, measured_latency=20_000.0
+        )
+        assert b.contention == pytest.approx(20_000.0 - b.isolated_total)
+        assert "contention" in str(b)

@@ -1,0 +1,192 @@
+"""Integration tests: executing the four schemes on simulated networks."""
+
+import math
+import random
+
+import pytest
+
+from repro.multicast import SCHEMES, make_scheme
+from repro.params import SimParams
+from repro.sim.network import SimNetwork
+from repro.topology.irregular import generate_irregular_topology
+from tests.topo_fixtures import make_line, make_star
+
+ALL_SCHEMES = sorted(SCHEMES)
+
+
+def run_multicast(net: SimNetwork, scheme_name: str, source: int, dests: list[int]):
+    scheme = make_scheme(scheme_name)
+    result = scheme.execute(net, source, dests)
+    net.run()
+    return result
+
+
+def default_net(seed=3, **kw) -> SimNetwork:
+    p = SimParams(**kw)
+    return SimNetwork(generate_irregular_topology(p, seed=seed), p)
+
+
+class TestDeliveryCorrectness:
+    @pytest.mark.parametrize("scheme", ALL_SCHEMES)
+    def test_all_destinations_delivered_exactly_once(self, scheme):
+        for seed in range(3):
+            net = default_net(seed=seed)
+            dests = random.Random(seed).sample(range(1, 32), 13)
+            res = run_multicast(net, scheme, 0, dests)
+            assert res.complete
+            assert set(res.delivery_times) == set(dests)
+            net.assert_quiescent()
+
+    @pytest.mark.parametrize("scheme", ALL_SCHEMES)
+    def test_single_destination(self, scheme):
+        net = default_net()
+        res = run_multicast(net, scheme, 0, [17])
+        assert res.complete and res.latency > 0
+
+    @pytest.mark.parametrize("scheme", ALL_SCHEMES)
+    def test_full_broadcast(self, scheme):
+        net = default_net()
+        dests = [n for n in range(1, 32)]
+        res = run_multicast(net, scheme, 0, dests)
+        assert res.complete
+        assert len(res.delivery_times) == 31
+
+    @pytest.mark.parametrize("scheme", ALL_SCHEMES)
+    def test_multi_packet_message(self, scheme):
+        net = default_net(message_packets=4)
+        dests = random.Random(7).sample(range(1, 32), 9)
+        res = run_multicast(net, scheme, 0, dests)
+        assert res.complete
+        net.assert_quiescent()
+
+    @pytest.mark.parametrize("scheme", ALL_SCHEMES)
+    def test_input_validation(self, scheme):
+        net = default_net()
+        s = make_scheme(scheme)
+        with pytest.raises(ValueError):
+            s.execute(net, 0, [])
+        with pytest.raises(ValueError):
+            s.execute(net, 0, [0, 1])
+        with pytest.raises(ValueError):
+            s.execute(net, 0, [1, 1])
+        with pytest.raises(ValueError):
+            s.execute(net, 0, [99])
+
+
+class TestSingleDestLatencyIsUnicast:
+    """With one destination every scheme degenerates to (near-)unicast."""
+
+    def expected_unicast(self, net: SimNetwork, src: int, dst: int) -> float:
+        p = net.params
+        hops = net.routing.distance(
+            net.topo.switch_of_node(src), net.topo.switch_of_node(dst)
+        )
+        net_lat = (
+            p.link_delay
+            + p.routing_delay
+            + hops * (p.switch_delay + p.link_delay + p.routing_delay)
+            + (p.switch_delay + p.link_delay)
+            + p.packet_flits
+            - 1
+        )
+        dma = p.packet_flits / p.io_bus_flits_per_cycle
+        return 2 * p.o_host + 2 * dma + 2 * p.o_ni + net_lat
+
+    @pytest.mark.parametrize("scheme", ["binomial", "ni", "path"])
+    def test_exact_unicast_latency(self, scheme):
+        net = SimNetwork(make_line(3), SimParams())
+        res = run_multicast(net, scheme, 0, [2])
+        assert res.latency == pytest.approx(self.expected_unicast(net, 0, 2))
+
+    def test_tree_single_dest_close_to_unicast(self):
+        # The tree worm climbs to a covering ancestor, which can add hops
+        # relative to the minimal route, but never removes overhead terms.
+        net = SimNetwork(make_line(3), SimParams())
+        res = run_multicast(net, "tree", 0, [2])
+        assert res.latency >= self.expected_unicast(net, 0, 2) - 1e-9
+        assert res.latency <= self.expected_unicast(net, 0, 2) + 200
+
+
+class TestPaperOrderings:
+    """Qualitative relationships the paper reports (Section 4.2)."""
+
+    def latencies(self, *, seed=3, n_dests=15, **kw) -> dict[str, float]:
+        out = {}
+        for scheme in ALL_SCHEMES:
+            net = default_net(seed=seed, **kw)
+            dests = random.Random(seed).sample(range(1, 32), n_dests)
+            out[scheme] = run_multicast(net, scheme, 0, dests).latency
+        return out
+
+    def test_tree_is_best_enhanced_scheme(self):
+        lat = self.latencies()
+        assert lat["tree"] < lat["ni"]
+        assert lat["tree"] < lat["path"]
+
+    def test_all_enhanced_schemes_beat_binomial(self):
+        lat = self.latencies()
+        assert max(lat["tree"], lat["ni"], lat["path"]) < lat["binomial"]
+
+    def test_low_r_favours_path_over_ni(self):
+        lat = self.latencies(ratio_r=0.5)
+        assert lat["path"] < lat["ni"]
+
+    def test_high_r_favours_ni_over_path(self):
+        lat = self.latencies(ratio_r=4.0)
+        assert lat["ni"] < lat["path"]
+
+    def test_long_messages_favour_ni_over_path(self):
+        # Fig. 8: FPFS pipelining makes the NI scheme gain on the path-based
+        # scheme as messages span more packets, overtaking it by ~512 flits.
+        short = self.latencies(message_packets=1)
+        long = self.latencies(message_packets=4)
+        ratio_short = short["ni"] / short["path"]
+        ratio_long = long["ni"] / long["path"]
+        assert ratio_long < ratio_short
+        assert long["ni"] < long["path"]
+
+    def test_binomial_latency_tracks_step_count(self):
+        # Doubling the destination count adds about one software step.
+        lat8 = self.latencies(n_dests=8)["binomial"]
+        lat16 = self.latencies(n_dests=16)["binomial"]
+        assert lat16 > lat8
+
+    def test_more_switches_hurt_path_scheme(self):
+        # Fig. 7: with the node count fixed, more switches = fewer
+        # destinations per switch = more worms and phases for path-based.
+        few = self.latencies(num_switches=8)
+        many = self.latencies(num_switches=32)
+        assert many["path"] > few["path"]
+        # tree and NI schemes stay roughly flat (cut-through distance
+        # independence); allow generous slack.
+        assert many["tree"] < few["tree"] * 1.5
+        assert many["ni"] < few["ni"] * 1.5
+
+
+class TestStarTopology:
+    def test_tree_worm_single_phase_on_star(self):
+        # Star: hub + 4 leaves, 2 hosts each.  A multicast from a leaf host
+        # to hosts on every other leaf needs exactly one worm via the hub.
+        net = SimNetwork(make_star(4, hosts_per_switch=2), SimParams())
+        # hosts 0,1 on hub sw0; 2,3 on sw1; ...; 8,9 on sw4
+        res = run_multicast(net, "tree", 2, [4, 6, 8])
+        assert res.complete
+        times = sorted(res.delivery_times.values())
+        # Single worm: deliveries cluster within a few cycles of each other
+        # (replication at the hub is simultaneous).
+        assert times[-1] - times[0] < 50
+
+    def test_ni_scheme_on_star(self):
+        net = SimNetwork(make_star(4, hosts_per_switch=2), SimParams())
+        res = run_multicast(net, "ni", 2, [3, 4, 5, 6, 7, 8, 9])
+        assert res.complete
+
+
+class TestSchemeRegistry:
+    def test_make_scheme_unknown(self):
+        with pytest.raises(ValueError, match="unknown scheme"):
+            make_scheme("bogus")
+
+    def test_registry_names_match_classes(self):
+        for name in ALL_SCHEMES:
+            assert make_scheme(name).name == name

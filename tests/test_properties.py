@@ -1,0 +1,228 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import math
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.metrics.stats import percentile, summarize
+from repro.multicast import make_scheme
+from repro.multicast.binomial import build_binomial_tree, tree_depth_in_steps
+from repro.multicast.kbinomial import build_k_binomial_tree
+from repro.multicast.pathworm import plan_path_worms
+from repro.multicast.treeworm import plan_tree_worm
+from repro.params import SimParams
+from repro.routing.paths import is_legal_path, shortest_path_links
+from repro.routing.reachability import decode_mask, header_mask
+from repro.routing.updown import Phase, UpDownRouting
+from repro.sim.engine import Engine
+from repro.sim.network import SimNetwork
+from repro.topology.irregular import generate_irregular_topology
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+dims = st.tuples(
+    st.integers(min_value=2, max_value=12),   # switches
+    st.integers(min_value=4, max_value=24),   # nodes
+    st.integers(min_value=0, max_value=10_000),  # seed
+).filter(lambda t: t[1] <= t[0] * 7 - 2 * (t[0] - 1))
+
+
+def build_topo(switches, nodes, seed):
+    params = SimParams(num_switches=switches, num_nodes=nodes)
+    return generate_irregular_topology(params, seed=seed), params
+
+
+# ----------------------------------------------------------------------
+# Topology and routing invariants
+# ----------------------------------------------------------------------
+@settings(max_examples=30, deadline=None)
+@given(dims)
+def test_generated_topologies_are_connected_and_within_budget(d):
+    topo, _ = build_topo(*d)
+    assert topo.is_connected()
+    for s in range(topo.num_switches):
+        assert topo.free_ports(s) >= 0
+
+
+@settings(max_examples=20, deadline=None)
+@given(dims)
+def test_updown_up_links_form_dag_and_all_pairs_route(d):
+    topo, _ = build_topo(*d)
+    rt = UpDownRouting.build(topo)
+    # topological order exists over up edges
+    indeg = {s: 0 for s in range(topo.num_switches)}
+    for lk in topo.links:
+        indeg[rt.up_end_switch(lk)] += 1
+    order = [s for s, deg in indeg.items() if deg == 0]
+    seen = 0
+    work = list(order)
+    while work:
+        s = work.pop()
+        seen += 1
+        for lk in topo.links_of(s):
+            up = rt.up_end_switch(lk)
+            if up != s:
+                indeg[up] -= 1
+                if indeg[up] == 0:
+                    work.append(up)
+    assert seen == topo.num_switches
+    for a in range(topo.num_switches):
+        for b in range(topo.num_switches):
+            assert rt.reachable(a, Phase.UP, b)
+            p = shortest_path_links(rt, a, b)
+            assert is_legal_path(rt, a, p)
+            assert len(p) == rt.distance(a, b)
+
+
+@settings(max_examples=20, deadline=None)
+@given(dims)
+def test_reachability_subset_and_root_totality(d):
+    topo, _ = build_topo(*d)
+    rt = UpDownRouting.build(topo)
+    from repro.routing.reachability import ReachabilityTable
+
+    reach = ReachabilityTable.build(rt)
+    assert reach.down_reach(rt.tree.root) == frozenset(range(topo.num_nodes))
+    for s in range(topo.num_switches):
+        local = set(topo.nodes_on_switch(s))
+        assert local <= reach.down_reach(s)
+        for lk in rt.down_links_of(s):
+            assert reach.port_reach(s, lk) <= reach.down_reach(s)
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.sets(st.integers(min_value=0, max_value=63)))
+def test_header_mask_roundtrip(dests):
+    assert decode_mask(header_mask(dests)) == frozenset(dests)
+
+
+# ----------------------------------------------------------------------
+# Multicast plan invariants
+# ----------------------------------------------------------------------
+@settings(max_examples=30, deadline=None)
+@given(st.integers(min_value=1, max_value=40))
+def test_binomial_depth_bound(n):
+    members = list(range(n))
+    tree = build_binomial_tree(members)
+    expected = math.ceil(math.log2(n)) if n > 1 else 0
+    assert tree_depth_in_steps(tree, 0) == expected
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.integers(min_value=1, max_value=40),
+    st.integers(min_value=1, max_value=10),
+)
+def test_k_binomial_covers_once_with_bounded_fanout(n, k):
+    members = list(range(n))
+    tree = build_k_binomial_tree(members, k)
+    seen = set()
+    stack = [0]
+    while stack:
+        node = stack.pop()
+        assert node not in seen
+        seen.add(node)
+        assert len(tree[node]) <= k
+        stack.extend(tree[node])
+    assert seen == set(members)
+
+
+@settings(max_examples=15, deadline=None)
+@given(dims, st.data())
+def test_tree_worm_turn_always_covers(d, data):
+    topo, params = build_topo(*d)
+    net = SimNetwork(topo, params)
+    n = topo.num_nodes
+    size = data.draw(st.integers(min_value=1, max_value=n - 1))
+    dests = data.draw(
+        st.lists(
+            st.integers(min_value=1, max_value=n - 1),
+            min_size=size,
+            max_size=size,
+            unique=True,
+        )
+    )
+    plan = plan_tree_worm(net, topo.switch_of_node(0), dests)
+    assert net.reach.covers(plan.turn_switch, set(dests))
+
+
+@settings(max_examples=15, deadline=None)
+@given(dims, st.data())
+def test_path_worm_plan_partitions_destinations(d, data):
+    topo, params = build_topo(*d)
+    net = SimNetwork(topo, params)
+    n = topo.num_nodes
+    size = data.draw(st.integers(min_value=1, max_value=n - 1))
+    dests = data.draw(
+        st.lists(
+            st.integers(min_value=1, max_value=n - 1),
+            min_size=size,
+            max_size=size,
+            unique=True,
+        )
+    )
+    plan = plan_path_worms(net, 0, dests)
+    covered = [x for w in plan.worms for x in w.covered]
+    assert sorted(covered) == sorted(dests)  # partition: no dup, no miss
+    for w in plan.worms:
+        assert is_legal_path(net.routing, w.switch_path[0], list(w.links))
+
+
+# ----------------------------------------------------------------------
+# End-to-end: every scheme delivers exactly once, regardless of topology
+# ----------------------------------------------------------------------
+@settings(max_examples=10, deadline=None)
+@given(dims, st.sampled_from(["binomial", "ni", "tree", "path"]), st.data())
+def test_schemes_deliver_exactly_once_on_random_systems(d, scheme_name, data):
+    topo, params = build_topo(*d)
+    net = SimNetwork(topo, params)
+    n = topo.num_nodes
+    source = data.draw(st.integers(min_value=0, max_value=n - 1))
+    pool = [x for x in range(n) if x != source]
+    size = data.draw(st.integers(min_value=1, max_value=len(pool)))
+    rng = random.Random(data.draw(st.integers(0, 10_000)))
+    dests = rng.sample(pool, size)
+    res = make_scheme(scheme_name).execute(net, source, dests)
+    net.run()
+    assert res.complete
+    assert set(res.delivery_times) == set(dests)
+    net.assert_quiescent()
+
+
+# ----------------------------------------------------------------------
+# Engine and stats invariants
+# ----------------------------------------------------------------------
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.floats(min_value=0, max_value=1e6), min_size=1, max_size=50))
+def test_engine_fires_in_nondecreasing_time_order(times):
+    eng = Engine()
+    fired = []
+    for t in times:
+        eng.at(t, lambda t=t: fired.append(eng.now))
+    eng.run()
+    assert fired == sorted(fired)
+    assert len(fired) == len(times)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.lists(st.floats(min_value=-1e9, max_value=1e9,
+                       allow_nan=False), min_size=1, max_size=100),
+    st.floats(min_value=0, max_value=100),
+)
+def test_percentile_bounded_by_extremes(xs, q):
+    p = percentile(xs, q)
+    assert min(xs) <= p <= max(xs)
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1, max_size=60))
+def test_summary_internally_consistent(xs):
+    s = summarize(xs)
+    eps = 1e-9 * max(1.0, abs(s.min), abs(s.max))  # float summation slack
+    assert s.min - eps <= s.p50 <= s.max + eps
+    assert s.min - eps <= s.mean <= s.max + eps
+    assert s.std >= 0
+    assert s.count == len(xs)

@@ -1,0 +1,106 @@
+"""Tests for the software-tree scheme family and plan caching."""
+
+import random
+
+import pytest
+
+from repro.multicast import make_scheme
+from repro.multicast.binomial import UnicastBinomialScheme
+from repro.params import SimParams
+from repro.sim.network import SimNetwork
+from repro.topology.irregular import generate_irregular_topology
+
+
+def default_net(seed=3, **kw) -> SimNetwork:
+    p = SimParams(**kw)
+    return SimNetwork(generate_irregular_topology(p, seed=seed), p)
+
+
+class TestSoftwareTreeFamily:
+    def test_flat_separate_addressing_tree(self):
+        net = default_net()
+        scheme = UnicastBinomialScheme(flat=True)
+        tree = scheme.plan(net, 0, [3, 7, 11])
+        assert sorted(tree[0]) == [3, 7, 11]
+        assert all(tree[d] == [] for d in (3, 7, 11))
+
+    def test_fanout_one_is_a_chain(self):
+        net = default_net()
+        scheme = UnicastBinomialScheme(fanout=1)
+        tree = scheme.plan(net, 0, [3, 7, 11])
+        assert all(len(ch) <= 1 for ch in tree.values())
+
+    def test_invalid_configs(self):
+        with pytest.raises(ValueError):
+            UnicastBinomialScheme(fanout=0)
+        with pytest.raises(ValueError):
+            UnicastBinomialScheme(fanout=2, flat=True)
+
+    @pytest.mark.parametrize("kw", [{"flat": True}, {"fanout": 1}, {"fanout": 3}])
+    def test_variants_deliver_everything(self, kw):
+        net = default_net()
+        dests = random.Random(0).sample(range(1, 32), 10)
+        res = UnicastBinomialScheme(**kw).execute(net, 0, dests)
+        net.run()
+        assert res.complete
+        net.assert_quiescent()
+
+    def test_binomial_beats_flat_and_chain(self):
+        dests = random.Random(1).sample(range(1, 32), 15)
+        lat = {}
+        for label, kw in (
+            ("binomial", {}),
+            ("flat", {"flat": True}),
+            ("chain", {"fanout": 1}),
+        ):
+            net = default_net()
+            res = UnicastBinomialScheme(**kw).execute(net, 0, dests)
+            net.run()
+            lat[label] = res.latency
+        assert lat["binomial"] < lat["flat"]
+        assert lat["binomial"] < lat["chain"]
+
+
+class TestPlanCache:
+    @pytest.mark.parametrize("scheme_name", ["binomial", "ni", "path", "tree"])
+    def test_cached_and_uncached_results_identical(self, scheme_name):
+        dests = random.Random(2).sample(range(1, 32), 9)
+        lats = []
+        for cache in (False, True):
+            net = default_net()
+            scheme = make_scheme(scheme_name)
+            if cache:
+                scheme.enable_plan_cache()
+            # two consecutive ops through the same scheme instance
+            res1 = scheme.execute(net, 0, dests)
+            net.run()
+            res2 = scheme.execute(net, 0, dests)
+            net.run()
+            lats.append((res1.latency, res2.latency))
+        assert lats[0] == lats[1]
+
+    def test_cache_hits_reuse_objects(self):
+        net = default_net()
+        scheme = make_scheme("path")
+        scheme.enable_plan_cache()
+        dests = [4, 9, 13]
+        r1 = scheme.execute(net, 0, dests)
+        net.run()
+        key = (id(net), ("mdp", 0, tuple(dests)))
+        assert key in scheme._plan_cache
+        plan_obj = scheme._plan_cache[key]
+        r2 = scheme.execute(net, 0, dests)
+        net.run()
+        assert scheme._plan_cache[key] is plan_obj
+        assert r1.complete and r2.complete
+
+    def test_cache_is_per_network(self):
+        scheme = make_scheme("tree")
+        scheme.enable_plan_cache()
+        for seed in (3, 4):
+            net = default_net(seed=seed)
+            res = scheme.execute(net, 0, [5, 9])
+            net.run()
+            assert res.complete
+        nets_seen = {k[0] for k in scheme._plan_cache}
+        assert len(nets_seen) == 2

@@ -1,0 +1,136 @@
+"""Tests for topology/result serialization and the extended CLI."""
+
+import json
+
+import pytest
+
+from repro.experiments.base import ExperimentResult, Series
+from repro.experiments.cli import main as cli_main
+from repro.experiments.io import (
+    load_result_json,
+    result_from_dict,
+    result_to_csv,
+    result_to_dict,
+    save_result_csv,
+    save_result_json,
+)
+from repro.params import SimParams
+from repro.topology.irregular import generate_irregular_topology
+from repro.topology.serialization import (
+    load_topology,
+    save_topology,
+    topology_from_dict,
+    topology_to_dict,
+)
+
+
+class TestTopologySerialization:
+    def test_roundtrip_preserves_structure(self, tmp_path):
+        topo = generate_irregular_topology(SimParams(), seed=5)
+        path = tmp_path / "topo.json"
+        save_topology(topo, path)
+        loaded = load_topology(path)
+        assert loaded.num_switches == topo.num_switches
+        assert loaded.node_attachment == topo.node_attachment
+        assert [(l.link_id, l.a, l.b) for l in loaded.links] == [
+            (l.link_id, l.a, l.b) for l in topo.links
+        ]
+        assert loaded.is_connected()
+
+    def test_dict_roundtrip(self):
+        topo = generate_irregular_topology(SimParams(), seed=6)
+        again = topology_from_dict(topology_to_dict(topo))
+        assert again.num_nodes == topo.num_nodes
+
+    def test_bad_format_version(self):
+        with pytest.raises(ValueError, match="format"):
+            topology_from_dict({"format": 99})
+
+    def test_non_dense_nodes_rejected(self):
+        topo = generate_irregular_topology(SimParams(), seed=6)
+        data = topology_to_dict(topo)
+        data["nodes"][0]["node"] = 999
+        with pytest.raises(ValueError, match="dense"):
+            topology_from_dict(data)
+
+    def test_loaded_topology_simulates_identically(self, tmp_path):
+        import random
+
+        from repro.multicast import make_scheme
+        from repro.sim.network import SimNetwork
+
+        topo = generate_irregular_topology(SimParams(), seed=7)
+        path = tmp_path / "t.json"
+        save_topology(topo, path)
+        loaded = load_topology(path)
+        dests = random.Random(0).sample(range(1, 32), 9)
+        lats = []
+        for t in (topo, loaded):
+            net = SimNetwork(t, SimParams())
+            res = make_scheme("tree").execute(net, 0, dests)
+            net.run()
+            lats.append(res.latency)
+        assert lats[0] == lats[1]
+
+
+def sample_result() -> ExperimentResult:
+    return ExperimentResult(
+        exp_id="sample",
+        title="sample",
+        x_label="x",
+        y_label="y",
+        series=[
+            Series("a", [1.0, 2.0], [10.0, None], meta={"scheme": "tree"}),
+            Series("b", [1.0, 2.0], [20.0, 30.0]),
+        ],
+    )
+
+
+class TestResultSerialization:
+    def test_json_roundtrip(self, tmp_path):
+        res = sample_result()
+        path = tmp_path / "res.json"
+        save_result_json(res, path)
+        loaded = load_result_json(path)
+        assert loaded.exp_id == "sample"
+        assert loaded.curve("a").y == [10.0, None]
+        assert loaded.curve("a").meta == {"scheme": "tree"}
+
+    def test_dict_roundtrip(self):
+        res = sample_result()
+        again = result_from_dict(result_to_dict(res))
+        assert [s.label for s in again.series] == ["a", "b"]
+
+    def test_csv_layout(self, tmp_path):
+        res = sample_result()
+        csv_text = result_to_csv(res)
+        lines = csv_text.strip().splitlines()
+        assert lines[0] == "exp_id,series,x,y"
+        assert len(lines) == 5
+        assert "sample,a,2.0," in lines[2]  # saturated = empty cell
+        path = tmp_path / "res.csv"
+        save_result_csv(res, path)
+        assert path.read_text() == csv_text
+
+
+class TestCliExtensions:
+    def test_run_with_exports(self, tmp_path, capsys):
+        rc = cli_main([
+            "run", "ablation-fpfs",
+            "--json", str(tmp_path / "j"),
+            "--csv", str(tmp_path / "c"),
+        ])
+        assert rc == 0
+        data = json.loads((tmp_path / "j" / "ablation-fpfs.json").read_text())
+        assert data["exp_id"] == "ablation-fpfs"
+        csv_text = (tmp_path / "c" / "ablation-fpfs.csv").read_text()
+        assert csv_text.startswith("exp_id,series,x,y")
+
+    def test_topology_subcommand(self, tmp_path, capsys):
+        out = tmp_path / "topo.json"
+        rc = cli_main(["topology", "--seed", "9", "--save", str(out)])
+        assert rc == 0
+        printed = capsys.readouterr().out
+        assert "diameter" in printed
+        loaded = load_topology(out)
+        assert loaded.num_nodes == 32

@@ -1,0 +1,90 @@
+"""Tests for the generic grid sweep utility."""
+
+import pytest
+
+from repro.experiments.sweep import (
+    SweepRecord,
+    grid_sweep,
+    save_sweep_csv,
+    single_latency_metric,
+    sweep_to_csv,
+)
+from repro.params import SimParams
+
+
+def counting_metric(calls):
+    def metric(params: SimParams) -> dict[str, float]:
+        calls.append(params)
+        return {"m": params.o_host * params.ratio_r}
+
+    return metric
+
+
+class TestGridSweep:
+    def test_cartesian_product_order_and_size(self):
+        calls = []
+        records = grid_sweep(
+            SimParams(),
+            {"o_host": [100, 200], "ratio_r": [1.0, 2.0, 4.0]},
+            counting_metric(calls),
+        )
+        assert len(records) == 6
+        assert len(calls) == 6
+        # coords are sorted by field name: o_host before ratio_r
+        assert records[0].coords == (("o_host", 100), ("ratio_r", 1.0))
+        assert records[-1].coords == (("o_host", 200), ("ratio_r", 4.0))
+
+    def test_metrics_recorded(self):
+        records = grid_sweep(
+            SimParams(), {"o_host": [100]}, counting_metric([])
+        )
+        assert records[0].metrics == {"m": 200.0}
+        assert records[0].coord("o_host") == 100
+        with pytest.raises(KeyError):
+            records[0].coord("nope")
+
+    def test_unknown_field_fails_fast(self):
+        calls = []
+        with pytest.raises(ValueError, match="no field"):
+            grid_sweep(SimParams(), {"bogus": [1]}, counting_metric(calls))
+        assert calls == []
+
+    def test_invalid_derived_params_rejected(self):
+        with pytest.raises(ValueError):
+            grid_sweep(
+                SimParams(), {"ratio_r": [-1.0]}, counting_metric([])
+            )
+
+    def test_empty_grid_rejected(self):
+        with pytest.raises(ValueError):
+            grid_sweep(SimParams(), {}, counting_metric([]))
+
+
+class TestLatencyMetric:
+    def test_real_latency_sweep(self):
+        metric = single_latency_metric(
+            scheme_names=("tree",), group_size=8, n_topologies=1, trials=1
+        )
+        records = grid_sweep(SimParams(), {"ratio_r": [1.0, 4.0]}, metric)
+        assert all("latency_tree" in r.metrics for r in records)
+        # tree latency falls with R (cheaper o_ni)
+        assert records[1].metrics["latency_tree"] < records[0].metrics["latency_tree"]
+
+
+class TestCsvExport:
+    def test_layout(self, tmp_path):
+        records = [
+            SweepRecord((("a", 1), ("b", 2)), {"x": 3.0, "y": 4.0}),
+            SweepRecord((("a", 5), ("b", 6)), {"x": 7.0, "y": 8.0}),
+        ]
+        text = sweep_to_csv(records)
+        lines = text.strip().splitlines()
+        assert lines[0] == "a,b,x,y"
+        assert lines[1] == "1,2,3.0,4.0"
+        path = tmp_path / "sweep.csv"
+        save_sweep_csv(records, path)
+        assert path.read_text() == text
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            sweep_to_csv([])

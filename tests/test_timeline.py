@@ -1,0 +1,66 @@
+"""Tests for the trace-derived occupancy timeline renderer."""
+
+from repro.multicast import make_scheme
+from repro.params import SimParams
+from repro.sim.network import SimNetwork
+from repro.sim.tracelog import TraceLog
+from repro.visual.timeline import occupancy_intervals, render_timeline
+from tests.topo_fixtures import make_line
+
+
+def traced_run():
+    net = SimNetwork(make_line(3), SimParams())
+    net.trace = TraceLog()
+    res = make_scheme("tree").execute(net, 0, [1, 2])
+    net.run()
+    assert res.complete
+    return net.trace
+
+
+class TestOccupancyIntervals:
+    def test_intervals_well_formed(self):
+        intervals = occupancy_intervals(traced_run())
+        assert intervals
+        for ch, worm, start, end in intervals:
+            assert end >= start
+            assert worm.startswith("tree:")
+
+    def test_unmatched_grants_dropped(self):
+        log = TraceLog()
+        log.emit(1.0, "grant", "w", "chA")
+        log.emit(2.0, "grant", "w", "chB")
+        log.emit(5.0, "release", "w", "chA")
+        ivs = occupancy_intervals(log)
+        assert ivs == [("chA", "w", 1.0, 5.0)]
+
+
+class TestRenderTimeline:
+    def test_renders_rows_and_legend(self):
+        out = render_timeline(traced_run())
+        assert "time" in out
+        assert "inj:n0->s0" in out
+        assert "a=" in out  # legend glyph
+
+    def test_channel_filter(self):
+        out = render_timeline(traced_run(), channel_filter="del:")
+        assert "del:" in out
+        assert "inj:" not in out.replace("a=tree", "")
+
+    def test_empty_trace(self):
+        assert "no completed" in render_timeline(TraceLog())
+
+    def test_serialized_worms_do_not_overlap_on_channel(self):
+        # Two packets through the same injection channel: their bars on that
+        # channel must not overlap in time.
+        net = SimNetwork(make_line(3), SimParams(message_packets=2))
+        net.trace = TraceLog()
+        res = make_scheme("tree").execute(net, 0, [2])
+        net.run()
+        assert res.complete
+        ivs = [
+            iv for iv in occupancy_intervals(net.trace)
+            if iv[0].startswith("inj:")
+        ]
+        assert len(ivs) == 2
+        ivs.sort(key=lambda iv: iv[2])
+        assert ivs[0][3] <= ivs[1][2]

@@ -1,0 +1,166 @@
+"""Unit tests for the irregular topology generator and graph model."""
+
+import pytest
+
+from repro.params import SimParams
+from repro.topology import NetworkTopology, PortRef, SwitchLink
+from repro.topology.irregular import (
+    generate_irregular_topology,
+    generate_topology_family,
+)
+
+
+def small_params(**kw) -> SimParams:
+    return SimParams(**kw)
+
+
+class TestNetworkTopologyModel:
+    def make_two_switch(self) -> NetworkTopology:
+        return NetworkTopology(
+            num_switches=2,
+            ports_per_switch=4,
+            node_attachment=[PortRef(0, 0), PortRef(1, 0)],
+            links=[SwitchLink(0, PortRef(0, 1), PortRef(1, 1))],
+        )
+
+    def test_basic_accessors(self):
+        topo = self.make_two_switch()
+        assert topo.num_nodes == 2
+        assert topo.switch_of_node(0) == 0
+        assert topo.switch_of_node(1) == 1
+        assert topo.nodes_on_switch(0) == [0]
+        assert topo.neighbors(0) == [1]
+        assert topo.degree(0) == 1
+        assert topo.free_ports(0) == 2
+        assert topo.is_connected()
+
+    def test_other_end_and_end_on(self):
+        lk = SwitchLink(5, PortRef(0, 1), PortRef(1, 2))
+        assert lk.other_end(0) == PortRef(1, 2)
+        assert lk.other_end(1) == PortRef(0, 1)
+        assert lk.end_on(1) == PortRef(1, 2)
+        with pytest.raises(ValueError):
+            lk.other_end(2)
+
+    def test_self_link_rejected(self):
+        with pytest.raises(ValueError, match="self-link"):
+            NetworkTopology(
+                num_switches=1,
+                ports_per_switch=4,
+                node_attachment=[],
+                links=[SwitchLink(0, PortRef(0, 0), PortRef(0, 1))],
+            )
+
+    def test_double_port_use_rejected(self):
+        with pytest.raises(ValueError, match="used twice"):
+            NetworkTopology(
+                num_switches=2,
+                ports_per_switch=4,
+                node_attachment=[PortRef(0, 0)],
+                links=[SwitchLink(0, PortRef(0, 0), PortRef(1, 0))],
+            )
+
+    def test_port_out_of_range_rejected(self):
+        with pytest.raises(ValueError, match="out of range"):
+            NetworkTopology(
+                num_switches=1,
+                ports_per_switch=2,
+                node_attachment=[PortRef(0, 5)],
+                links=[],
+            )
+
+    def test_disconnected_detection(self):
+        topo = NetworkTopology(
+            num_switches=2,
+            ports_per_switch=4,
+            node_attachment=[],
+            links=[],
+        )
+        assert not topo.is_connected()
+
+    def test_multi_links_allowed(self):
+        topo = NetworkTopology(
+            num_switches=2,
+            ports_per_switch=4,
+            node_attachment=[],
+            links=[
+                SwitchLink(0, PortRef(0, 0), PortRef(1, 0)),
+                SwitchLink(1, PortRef(0, 1), PortRef(1, 1)),
+            ],
+        )
+        assert topo.degree(0) == 2
+        assert topo.neighbors(0) == [1]
+
+    def test_to_networkx(self):
+        g = self.make_two_switch().to_networkx()
+        assert g.number_of_nodes() == 4  # 2 switches + 2 hosts
+        assert g.number_of_edges() == 3  # 1 link + 2 attachments
+
+
+class TestGenerator:
+    def test_default_dimensions(self):
+        p = small_params()
+        topo = generate_irregular_topology(p)
+        assert topo.num_switches == p.num_switches
+        assert topo.num_nodes == p.num_nodes
+        assert topo.ports_per_switch == p.ports_per_switch
+        assert topo.is_connected()
+
+    def test_port_budget_respected(self):
+        topo = generate_irregular_topology(small_params())
+        for s in range(topo.num_switches):
+            assert topo.free_ports(s) >= 0
+
+    def test_deterministic_in_seed(self):
+        p = small_params()
+        t1 = generate_irregular_topology(p, seed=42)
+        t2 = generate_irregular_topology(p, seed=42)
+        assert [(l.link_id, l.a, l.b) for l in t1.links] == [
+            (l.link_id, l.a, l.b) for l in t2.links
+        ]
+        assert t1.node_attachment == t2.node_attachment
+
+    def test_different_seeds_differ(self):
+        p = small_params()
+        t1 = generate_irregular_topology(p, seed=1)
+        t2 = generate_irregular_topology(p, seed=2)
+        assert (
+            t1.node_attachment != t2.node_attachment
+            or [(l.a, l.b) for l in t1.links] != [(l.a, l.b) for l in t2.links]
+        )
+
+    def test_pure_tree_when_no_extra_links(self):
+        p = small_params()
+        topo = generate_irregular_topology(p, seed=3, extra_link_fraction=0.0)
+        assert len(topo.links) == p.num_switches - 1
+        assert topo.is_connected()
+
+    @pytest.mark.parametrize("switches,nodes", [(4, 16), (8, 32), (16, 32), (32, 32)])
+    def test_paper_sweep_dimensions(self, switches, nodes):
+        p = small_params(num_switches=switches, num_nodes=nodes)
+        topo = generate_irregular_topology(p, seed=5)
+        assert topo.is_connected()
+        assert topo.num_nodes == nodes
+
+    def test_single_switch_system(self):
+        p = small_params(num_switches=1, num_nodes=4, ports_per_switch=8)
+        topo = generate_irregular_topology(p)
+        assert topo.links == []
+        assert topo.is_connected()
+
+    def test_infeasible_dimensions_rejected(self):
+        with pytest.raises(ValueError):
+            generate_irregular_topology(
+                small_params(num_switches=2, num_nodes=32, ports_per_switch=4)
+            )
+
+    def test_bad_extra_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            generate_irregular_topology(small_params(), extra_link_fraction=1.5)
+
+    def test_family_distinct_and_sized(self):
+        fam = generate_topology_family(small_params(), 4)
+        assert len(fam) == 4
+        assert all(t.is_connected() for t in fam)
+        with pytest.raises(ValueError):
+            generate_topology_family(small_params(), 0)

@@ -1,0 +1,97 @@
+"""Tests for the structured event trace."""
+
+import pytest
+
+from repro.multicast import make_scheme
+from repro.params import SimParams
+from repro.sim.network import SimNetwork
+from repro.sim.tracelog import TraceLog, TraceRecord
+from repro.topology.irregular import generate_irregular_topology
+from tests.topo_fixtures import make_line
+
+
+class TestTraceLog:
+    def test_emit_and_filter(self):
+        log = TraceLog()
+        log.emit(1.0, "grant", "w1", "ch-a")
+        log.emit(2.0, "deliver", "w1", "node 3")
+        log.emit(3.0, "grant", "w2", "ch-b")
+        assert len(log) == 3
+        assert [r.detail for r in log.records(event="grant")] == ["ch-a", "ch-b"]
+        assert [r.time for r in log.records(worm_contains="w1")] == [1.0, 2.0]
+
+    def test_ring_buffer_drops_oldest(self):
+        log = TraceLog(capacity=2)
+        for i in range(5):
+            log.emit(float(i), "e", "w", str(i))
+        assert len(log) == 2
+        assert log.dropped == 3
+        assert [r.detail for r in log.records()] == ["3", "4"]
+
+    def test_format_contains_header_and_rows(self):
+        log = TraceLog()
+        log.emit(10.0, "grant", "worm", "chan")
+        text = log.format()
+        assert "trace: 1 records" in text
+        assert "grant" in text and "chan" in text
+
+    def test_clear(self):
+        log = TraceLog()
+        log.emit(1.0, "e", "w", "d")
+        log.clear()
+        assert len(log) == 0
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            TraceLog(capacity=0)
+
+    def test_record_str(self):
+        r = TraceRecord(5.0, "grant", "w", "ch")
+        assert "grant" in str(r) and "5.0" in str(r)
+
+
+class TestTracedSimulation:
+    def test_unicast_trace_sequence(self):
+        net = SimNetwork(make_line(3), SimParams())
+        net.trace = TraceLog()
+        from repro.sim.messaging import HostReceiver, host_send
+
+        recv = HostReceiver(net.hosts[2], 1, lambda t: None)
+        steer = net.unicast_steer(2)
+        host_send(
+            net.hosts[0],
+            [
+                lambda: net.hosts[0].launch_worm(
+                    steer, None,
+                    on_delivered=lambda _n, _t: recv.packet_arrived(),
+                    label="uni:0->2",
+                )
+            ],
+        )
+        net.run()
+        events = [r.event for r in net.trace.records(worm_contains="uni")]
+        # 4 channels granted+released, one delivery.
+        assert events.count("grant") == 4
+        assert events.count("release") == 4
+        assert events.count("deliver") == 1
+        # grants happen in path order: inject first
+        grants = net.trace.records(event="grant")
+        assert grants[0].detail.startswith("inj:")
+
+    def test_multicast_trace_has_all_deliveries(self):
+        params = SimParams()
+        topo = generate_irregular_topology(params, seed=3)
+        net = SimNetwork(topo, params)
+        net.trace = TraceLog()
+        res = make_scheme("tree").execute(net, 0, [5, 9, 17])
+        net.run()
+        delivers = net.trace.records(event="deliver")
+        assert {r.detail for r in delivers} == {"node 5", "node 9", "node 17"}
+        assert res.complete
+
+    def test_untraced_network_unaffected(self):
+        net = SimNetwork(make_line(3), SimParams())
+        assert net.trace is None
+        res = make_scheme("tree").execute(net, 0, [2])
+        net.run()
+        assert res.complete

@@ -1,0 +1,141 @@
+"""Tests for the single-multicast and load traffic drivers."""
+
+import pytest
+
+from repro.params import SimParams
+from repro.topology.irregular import generate_irregular_topology
+from repro.traffic.load import LoadPoint, run_load_experiment, sweep_load
+from repro.traffic.single import (
+    average_single_multicast_latency,
+    draw_multicast,
+    measure_single_multicast,
+)
+
+
+def topo_default(seed=3):
+    return generate_irregular_topology(SimParams(), seed=seed)
+
+
+class TestSingleDriver:
+    def test_measure_returns_complete_result(self):
+        res = measure_single_multicast(
+            topo_default(), SimParams(), "tree", 0, [5, 9, 17]
+        )
+        assert res.complete and res.latency > 0
+
+    def test_average_is_deterministic(self):
+        a = average_single_multicast_latency(
+            SimParams(), "tree", 8, n_topologies=2, trials_per_topology=2
+        )
+        b = average_single_multicast_latency(
+            SimParams(), "tree", 8, n_topologies=2, trials_per_topology=2
+        )
+        assert a == b
+
+    def test_sample_size(self):
+        s = average_single_multicast_latency(
+            SimParams(), "path", 4, n_topologies=2, trials_per_topology=3
+        )
+        assert s.count == 6
+
+    def test_scheme_kwargs_forwarded(self):
+        s_lg = average_single_multicast_latency(
+            SimParams(), "path", 8, n_topologies=1, trials_per_topology=1,
+            strategy="lg",
+        )
+        s_greedy = average_single_multicast_latency(
+            SimParams(), "path", 8, n_topologies=1, trials_per_topology=1,
+            strategy="greedy",
+        )
+        assert s_lg.count == s_greedy.count == 1
+
+    def test_draw_multicast_valid(self):
+        import random
+
+        rng = random.Random(0)
+        for _ in range(50):
+            src, dests = draw_multicast(rng, 32, 7)
+            assert src not in dests
+            assert len(set(dests)) == 7
+            assert all(0 <= d < 32 for d in dests)
+
+    def test_draw_multicast_bad_size(self):
+        import random
+
+        with pytest.raises(ValueError):
+            draw_multicast(random.Random(0), 8, 8)
+
+
+class TestLoadDriver:
+    def run_point(self, load, scheme="tree", degree=4, **kw):
+        return run_load_experiment(
+            topo_default(),
+            SimParams(),
+            scheme,
+            degree=degree,
+            effective_load=load,
+            duration=40_000,
+            warmup=4_000,
+            **kw,
+        )
+
+    def test_light_load_completes_everything(self):
+        p = self.run_point(0.01)
+        assert p.issued > 0
+        assert p.completed == p.issued
+        assert not p.saturated
+        assert p.mean_latency is not None and p.mean_latency > 0
+
+    def test_latency_rises_with_load(self):
+        light = self.run_point(0.01)
+        heavy = self.run_point(0.10)
+        assert heavy.mean_latency > light.mean_latency
+
+    def test_extreme_load_saturates(self):
+        p = self.run_point(2.0, scheme="binomial", degree=16)
+        assert p.saturated or (p.mean_latency or 0) > 50_000
+
+    def test_determinism(self):
+        a = self.run_point(0.05)
+        b = self.run_point(0.05)
+        assert a == b
+
+    def test_sweep_returns_point_per_load(self):
+        pts = sweep_load(
+            topo_default(), SimParams(), "tree", 4, [0.01, 0.05],
+            duration=30_000, warmup=3_000,
+        )
+        assert len(pts) == 2
+        assert all(isinstance(p, LoadPoint) for p in pts)
+        assert pts[0].effective_load == 0.01
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            self.run_point(-1.0)
+        with pytest.raises(ValueError):
+            run_load_experiment(
+                topo_default(), SimParams(), "tree", degree=0,
+                effective_load=0.1,
+            )
+
+    def test_completion_ratio(self):
+        p = self.run_point(0.01)
+        assert p.completion_ratio == 1.0
+
+
+class TestLoadOrderings:
+    """The paper's load findings, at a smoke-test scale."""
+
+    def mean_at(self, scheme, load, degree=4):
+        p = run_load_experiment(
+            topo_default(), SimParams(), scheme,
+            degree=degree, effective_load=load,
+            duration=60_000, warmup=6_000,
+        )
+        return p.mean_latency if not p.saturated else float("inf")
+
+    def test_tree_saturates_last(self):
+        # At a load where software schemes struggle, tree stays healthy.
+        assert self.mean_at("tree", 0.08) < self.mean_at("binomial", 0.08)
+        assert self.mean_at("tree", 0.08) <= self.mean_at("ni", 0.08)
+        assert self.mean_at("tree", 0.08) <= self.mean_at("path", 0.08)

@@ -1,0 +1,100 @@
+"""Tests for the ASCII chart and topology renderers."""
+
+import pytest
+
+from repro.experiments.base import ExperimentResult, Series
+from repro.params import SimParams
+from repro.topology.irregular import generate_irregular_topology
+from repro.visual.ascii import ascii_xy_chart, render_experiment
+from repro.visual.topology_art import render_topology
+from tests.topo_fixtures import make_line
+
+
+def result_with(series):
+    return ExperimentResult("e", "title", "load", "latency", series)
+
+
+class TestAsciiChart:
+    def test_basic_render_contains_glyphs_and_axis(self):
+        chart = ascii_xy_chart(
+            [
+                Series("tree", [0.1, 0.2], [100.0, 200.0]),
+                Series("path", [0.1, 0.2], [150.0, 400.0]),
+            ]
+        )
+        assert "a=tree" in chart and "b=path" in chart
+        assert "400" in chart and "100" in chart
+
+    def test_min_on_bottom_max_on_top(self):
+        chart = ascii_xy_chart([Series("s", [1.0, 2.0], [5.0, 50.0])])
+        lines = chart.splitlines()
+        top_rows = [ln for ln in lines if "a" in ln and "|" in ln]
+        assert top_rows  # both points plotted
+        # point with max y appears above point with min y
+        first_a = next(i for i, ln in enumerate(lines) if "a" in ln and "|" in ln)
+        last_a = max(i for i, ln in enumerate(lines) if "a" in ln and "|" in ln)
+        assert first_a < last_a
+
+    def test_saturated_marker(self):
+        chart = ascii_xy_chart([Series("s", [1.0, 2.0], [5.0, None])])
+        assert "^" in chart
+        assert "saturated" in chart
+
+    def test_flat_series_does_not_divide_by_zero(self):
+        chart = ascii_xy_chart([Series("s", [1.0, 2.0], [7.0, 7.0])])
+        assert chart.count("a") >= 2
+
+    def test_errors(self):
+        with pytest.raises(ValueError, match="no series"):
+            ascii_xy_chart([])
+        with pytest.raises(ValueError, match="same x"):
+            ascii_xy_chart(
+                [Series("a", [1.0], [1.0]), Series("b", [2.0], [1.0])]
+            )
+        with pytest.raises(ValueError, match="measurable"):
+            ascii_xy_chart([Series("a", [1.0], [None])])
+
+
+class TestRenderExperiment:
+    def test_filter_by_substring(self):
+        res = result_with(
+            [
+                Series("R=2/4-way/tree", [0.1], [10.0]),
+                Series("R=2/16-way/tree", [0.1], [20.0]),
+            ]
+        )
+        out = render_experiment(res, select="16-way")
+        assert "16-way" in out
+        assert "4-way/tree\n" not in out
+
+    def test_no_match_raises(self):
+        res = result_with([Series("a", [1.0], [1.0])])
+        with pytest.raises(ValueError, match="no series match"):
+            render_experiment(res, select="zzz")
+
+    def test_mismatched_x_skipped_with_note(self):
+        res = result_with(
+            [
+                Series("a", [1.0, 2.0], [1.0, 2.0]),
+                Series("b", [1.0], [1.0]),
+            ]
+        )
+        out = render_experiment(res)
+        assert "skipped mismatched-x series: b" in out
+
+
+class TestTopologyArt:
+    def test_line_renders_levels(self):
+        out = render_topology(make_line(3))
+        assert "level 0:" in out and "level 2:" in out
+        assert "sw0" in out and "hosts 0" in out
+
+    def test_random_topology_mentions_all_switches(self):
+        topo = generate_irregular_topology(SimParams(), seed=3)
+        out = render_topology(topo)
+        for s in range(topo.num_switches):
+            assert f"sw{s} " in out or f"sw{s}\n" in out or f"sw{s}" in out
+
+    def test_up_down_annotations_present(self):
+        out = render_topology(make_line(3))
+        assert "up->" in out and "down->" in out

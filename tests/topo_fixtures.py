@@ -1,0 +1,55 @@
+"""Hand-built topologies shared across the test-suite."""
+
+from repro.topology.graph import NetworkTopology, PortRef, SwitchLink
+
+
+def make_line(n_switches: int = 3, hosts_per_switch: int = 1,
+              ports: int = 8) -> NetworkTopology:
+    """sw0 - sw1 - ... with ``hosts_per_switch`` hosts on each switch.
+
+    Node numbering: node (s * hosts_per_switch + i) is host i of switch s.
+    """
+    links = []
+    port_cursor = [hosts_per_switch] * n_switches
+    for i in range(n_switches - 1):
+        a = PortRef(i, port_cursor[i])
+        port_cursor[i] += 1
+        b = PortRef(i + 1, port_cursor[i + 1])
+        port_cursor[i + 1] += 1
+        links.append(SwitchLink(i, a, b))
+    attach = [
+        PortRef(s, i)
+        for s in range(n_switches)
+        for i in range(hosts_per_switch)
+    ]
+    return NetworkTopology(n_switches, ports, attach, links)
+
+
+def make_diamond(hosts_per_switch: int = 1) -> NetworkTopology:
+    """sw0 / (sw1, sw2) / sw3 diamond with hosts on every switch."""
+    h = hosts_per_switch
+    links = [
+        SwitchLink(0, PortRef(0, h), PortRef(1, h)),
+        SwitchLink(1, PortRef(0, h + 1), PortRef(2, h)),
+        SwitchLink(2, PortRef(1, h + 1), PortRef(3, h)),
+        SwitchLink(3, PortRef(2, h + 1), PortRef(3, h + 1)),
+    ]
+    attach = [PortRef(s, i) for s in range(4) for i in range(h)]
+    return NetworkTopology(4, 8, attach, links)
+
+
+def make_star(n_leaf_switches: int = 4, hosts_per_switch: int = 2,
+              ports: int = 8) -> NetworkTopology:
+    """Hub switch 0 with leaf switches 1..k, hosts on every switch."""
+    h = hosts_per_switch
+    links = [
+        SwitchLink(i - 1, PortRef(0, h + i - 1), PortRef(i, h))
+        for i in range(1, n_leaf_switches + 1)
+    ]
+    attach = [
+        PortRef(s, i)
+        for s in range(n_leaf_switches + 1)
+        for i in range(h)
+    ]
+    return NetworkTopology(n_leaf_switches + 1, ports, attach, links)
+
