@@ -41,10 +41,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
         return 2
 
     for exp_id in ids:
-        t0 = time.time()
+        t0 = time.perf_counter()
         result = run_experiment(exp_id, args.profile)
         print(result.to_table())
-        print(f"[{exp_id} took {time.time() - t0:.1f}s]\n")
+        print(f"[{exp_id} took {time.perf_counter() - t0:.1f}s]\n")
         if args.json:
             from repro.experiments.io import save_result_json
 
@@ -70,7 +70,7 @@ def _cmd_validate(_args: argparse.Namespace) -> int:
     )
     from repro.multicast import make_scheme
     from repro.params import SimParams
-    from repro.routing.deadlock import verify_deadlock_free
+    from repro.routing.deadlock import DeadlockCycleError, verify_deadlock_free
     from repro.routing.updown import UpDownRouting
     from repro.sim.flitsim import FlitLevelFabric, unicast_route
     from repro.sim.network import SimNetwork
@@ -92,7 +92,8 @@ def _cmd_validate(_args: argparse.Namespace) -> int:
         try:
             verify_deadlock_free(topo, rt)
             ok = True
-        except Exception:
+        except DeadlockCycleError as exc:
+            print(f"seed {seed}: {exc}", file=sys.stderr)
             ok = False
         check(f"seed {seed}: up*/down* CDG acyclic", ok)
 

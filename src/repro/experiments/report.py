@@ -35,9 +35,9 @@ def run_report_sections(
     for exp_id in exp_ids:
         if exp_id not in EXPERIMENTS:
             raise ValueError(f"unknown experiment {exp_id!r}")
-        t0 = time.time()
+        t0 = time.perf_counter()
         result = EXPERIMENTS[exp_id](profile)
-        sections.append(ReportSection(exp_id, result, time.time() - t0))
+        sections.append(ReportSection(exp_id, result, time.perf_counter() - t0))
     return sections
 
 

@@ -1,0 +1,348 @@
+"""Per-file AST rules: the simulator-determinism and hygiene checks.
+
+Each rule is a function ``(tree, path, scope) -> list[Finding]`` registered
+with :func:`repro.lint.registry.rule`.  The determinism rules are scoped to
+the simulation packages (:data:`~repro.lint.registry.SIM_SCOPES`): the
+figures of the paper are only reproducible if every source of randomness in
+``sim``/``routing``/``multicast``/``traffic`` is a seeded ``random.Random``
+threaded explicitly, and no simulated quantity ever reads the host clock.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+
+from repro.lint.findings import Finding, Severity
+from repro.lint.registry import SIM_SCOPES, rule
+
+# ----------------------------------------------------------------------
+# Shared AST helpers
+# ----------------------------------------------------------------------
+
+
+def _dotted(node: ast.AST) -> str | None:
+    """Render an attribute/name chain like ``datetime.datetime.now``."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _random_aliases(tree: ast.Module) -> tuple[set[str], dict[str, str]]:
+    """Names bound to the ``random`` module / names imported from it."""
+    module_aliases: set[str] = set()
+    member_names: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for a in node.names:
+                if a.name == "random":
+                    module_aliases.add(a.asname or a.name)
+        elif isinstance(node, ast.ImportFrom) and node.module == "random":
+            for a in node.names:
+                member_names[a.asname or a.name] = a.name
+    return module_aliases, member_names
+
+
+def _finding(rule_id: str, path: str, node: ast.AST, message: str,
+             severity: Severity = Severity.ERROR) -> Finding:
+    return Finding(
+        rule=rule_id,
+        severity=severity,
+        path=path,
+        line=getattr(node, "lineno", 0),
+        col=getattr(node, "col_offset", 0),
+        message=message,
+    )
+
+
+# ----------------------------------------------------------------------
+# unseeded-random
+# ----------------------------------------------------------------------
+@rule(
+    "unseeded-random",
+    kind="code",
+    description=(
+        "module-level random.* calls and unseeded random.Random() are "
+        "banned in simulation code; thread a seeded rng instead"
+    ),
+    rationale=(
+        "Figures 6-11 are averages over seeded topology and traffic draws; "
+        "any draw from the process-global RNG (or an unseeded Random) makes "
+        "a run irreproducible and invalidates cross-scheme comparisons."
+    ),
+    scopes=SIM_SCOPES,
+)
+def check_unseeded_random(tree: ast.Module, path: str, scope: str | None):
+    findings = []
+    module_aliases, member_names = _random_aliases(tree)
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        target: str | None = None
+        if (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id in module_aliases
+        ):
+            target = func.attr
+        elif isinstance(func, ast.Name) and func.id in member_names:
+            target = member_names[func.id]
+        if target is None:
+            continue
+        if target == "Random":
+            if not node.args and not node.keywords:
+                findings.append(_finding(
+                    "unseeded-random", path, node,
+                    "random.Random() without a seed; pass an explicit seed "
+                    "so the simulation stream is reproducible",
+                ))
+        elif target == "SystemRandom":
+            findings.append(_finding(
+                "unseeded-random", path, node,
+                "random.SystemRandom() is inherently non-reproducible; "
+                "use a seeded random.Random",
+            ))
+        else:
+            findings.append(_finding(
+                "unseeded-random", path, node,
+                f"random.{target}() draws from the process-global RNG; "
+                "thread a seeded random.Random through the call chain",
+            ))
+    return findings
+
+
+# ----------------------------------------------------------------------
+# wall-clock
+# ----------------------------------------------------------------------
+_WALL_SUFFIXES = (
+    "time.time",
+    "time.time_ns",
+    "datetime.now",
+    "datetime.utcnow",
+    "date.today",
+)
+
+
+@rule(
+    "wall-clock",
+    kind="code",
+    description=(
+        "time.time()/datetime.now() wall-clock reads are banned; use "
+        "time.perf_counter() for timing and the engine clock for sim time"
+    ),
+    rationale=(
+        "Simulated latency is measured in switch cycles; a wall-clock read "
+        "leaking into model code couples results to host speed, and even "
+        "report timing should use the monotonic perf_counter (time.time() "
+        "can step backwards under NTP adjustment)."
+    ),
+    scopes=None,
+)
+def check_wall_clock(tree: ast.Module, path: str, scope: str | None):
+    findings = []
+    imported_wall: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.module == "time":
+            for a in node.names:
+                if a.name in ("time", "time_ns"):
+                    imported_wall.add(a.asname or a.name)
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        name = _dotted(node.func)
+        hit = name is not None and (
+            name in imported_wall
+            or any(
+                name == suffix or name.endswith("." + suffix)
+                for suffix in _WALL_SUFFIXES
+            )
+        )
+        if hit:
+            findings.append(_finding(
+                "wall-clock", path, node,
+                f"wall-clock read {name}(); use time.perf_counter() for "
+                "elapsed-time measurement or the simulation engine clock "
+                "for model time",
+            ))
+    return findings
+
+
+# ----------------------------------------------------------------------
+# blanket-except
+# ----------------------------------------------------------------------
+_LOGGING_ATTRS = {
+    "debug", "info", "warning", "error", "exception", "critical", "log",
+    "print_exc", "print_exception",
+}
+
+
+def _handler_surfaces_error(handler: ast.ExceptHandler) -> bool:
+    """Does the handler body re-raise, log, or print the failure?"""
+    for node in ast.walk(ast.Module(body=handler.body, type_ignores=[])):
+        if isinstance(node, ast.Raise):
+            return True
+        if isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Name) and func.id == "print":
+                return True
+            if isinstance(func, ast.Attribute) and func.attr in _LOGGING_ATTRS:
+                return True
+    return False
+
+
+def _names_in_except_type(expr: ast.AST | None) -> list[str]:
+    if expr is None:
+        return []
+    exprs = expr.elts if isinstance(expr, ast.Tuple) else [expr]
+    out = []
+    for e in exprs:
+        name = _dotted(e)
+        if name is not None:
+            out.append(name.rsplit(".", 1)[-1])
+    return out
+
+
+@rule(
+    "blanket-except",
+    kind="code",
+    description=(
+        "bare except / except Exception must re-raise, log, or print; "
+        "silent swallows hide broken invariants"
+    ),
+    rationale=(
+        "A swallowed exception can silently turn a deadlock-check or "
+        "routing failure into a wrong data point; the paper's conclusions "
+        "ride on every run either completing correctly or failing loudly."
+    ),
+    scopes=None,
+)
+def check_blanket_except(tree: ast.Module, path: str, scope: str | None):
+    findings = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ExceptHandler):
+            continue
+        names = _names_in_except_type(node.type)
+        blanket = node.type is None or any(
+            n in ("Exception", "BaseException") for n in names
+        )
+        if blanket and not _handler_surfaces_error(node):
+            what = "bare except:" if node.type is None else f"except {'/'.join(names)}"
+            findings.append(_finding(
+                "blanket-except", path, node,
+                f"{what} swallows the error silently; narrow the exception "
+                "type, or re-raise / log / print the failure",
+            ))
+    return findings
+
+
+# ----------------------------------------------------------------------
+# float-time-eq
+# ----------------------------------------------------------------------
+_TIMEISH = re.compile(
+    r"(?:^|_)(t|t0|t1|t2|time|times|timestamp|timestamps|now|clock|"
+    r"latency|latencies|arrival|arrivals|elapsed|deadline)(?:_|$)"
+)
+
+
+def _timeish_operand(node: ast.AST) -> str | None:
+    """Identifier of a timestamp-like operand, if this expression is one."""
+    if isinstance(node, ast.Name):
+        ident = node.id
+    elif isinstance(node, ast.Attribute):
+        ident = node.attr
+    elif isinstance(node, ast.Call):
+        name = _dotted(node.func)
+        if name is not None and name.rsplit(".", 1)[-1] in (
+            "now", "perf_counter", "monotonic"
+        ):
+            return name
+        return None
+    else:
+        return None
+    return ident if _TIMEISH.search(ident.lower()) else None
+
+
+@rule(
+    "float-time-eq",
+    kind="code",
+    description=(
+        "== / != on simulated timestamps is banned; compare with a "
+        "tolerance or use event ordering"
+    ),
+    rationale=(
+        "Simulated completion times are floats (I/O-bus transfers divide by "
+        "2.66 flits/cycle); exact equality silently flips with summation "
+        "order, which is exactly the class of nondeterminism the CDG and "
+        "timing invariants are meant to exclude."
+    ),
+    scopes=SIM_SCOPES,
+)
+def check_float_time_eq(tree: ast.Module, path: str, scope: str | None):
+    findings = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Compare):
+            continue
+        if not any(isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops):
+            continue
+        for operand in [node.left, *node.comparators]:
+            ident = _timeish_operand(operand)
+            if ident is not None:
+                findings.append(_finding(
+                    "float-time-eq", path, node,
+                    f"equality comparison on timestamp-like value "
+                    f"{ident!r}; use an explicit tolerance "
+                    "(abs(a - b) < eps) or compare event order",
+                ))
+                break
+    return findings
+
+
+# ----------------------------------------------------------------------
+# mutable-default
+# ----------------------------------------------------------------------
+_MUTABLE_CTORS = {"list", "dict", "set", "defaultdict", "OrderedDict", "deque"}
+
+
+def _is_mutable_default(node: ast.AST) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set,
+                         ast.ListComp, ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        name = _dotted(node.func)
+        return name is not None and name.rsplit(".", 1)[-1] in _MUTABLE_CTORS
+    return False
+
+
+@rule(
+    "mutable-default",
+    kind="code",
+    description="mutable default argument values are banned (use None)",
+    rationale=(
+        "A mutable default is shared across calls: state from one simulated "
+        "message leaks into the next, the classic source of "
+        "order-dependent, irreproducible results."
+    ),
+    scopes=None,
+)
+def check_mutable_default(tree: ast.Module, path: str, scope: str | None):
+    findings = []
+    for node in ast.walk(tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        defaults = list(node.args.defaults) + [
+            d for d in node.args.kw_defaults if d is not None
+        ]
+        for default in defaults:
+            if _is_mutable_default(default):
+                findings.append(_finding(
+                    "mutable-default", path, default,
+                    f"mutable default argument in {node.name}(); default to "
+                    "None and create the object inside the function",
+                ))
+    return findings

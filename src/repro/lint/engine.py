@@ -1,0 +1,137 @@
+"""Lint engine: orchestrates rules over files and model contexts.
+
+Importing this module registers every built-in rule (the rule modules
+register themselves on import).  :func:`run_lint` is the single entry point
+the CLI and the tests share.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from dataclasses import dataclass, field
+
+# Importing the rule modules populates the registry.
+import repro.lint.code_rules  # noqa: F401
+import repro.lint.project_rules  # noqa: F401
+from repro.lint.findings import Finding, Severity
+from repro.lint.registry import CODE_RULES, PROJECT_RULES, rule_applies
+from repro.lint.sources import ParsedFile, collect_py_files, parse_file
+from repro.lint.suppress import is_suppressed, parse_suppressions
+
+
+class LintUsageError(Exception):
+    """A bad input (e.g. an unloadable topology file), not a lint finding."""
+
+
+@dataclass
+class LintResult:
+    """Outcome of one lint run."""
+
+    findings: list[Finding] = field(default_factory=list)
+    files_scanned: int = 0
+    contexts_checked: int = 0
+    suppressed: int = 0
+
+    @property
+    def errors(self) -> list[Finding]:
+        return [f for f in self.findings if f.severity is Severity.ERROR]
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.errors else 0
+
+
+def _run_code_rules(
+    files: dict[str, ParsedFile], result: LintResult
+) -> None:
+    for pf in files.values():
+        suppressions = parse_suppressions(pf.source)
+        for r in CODE_RULES.values():
+            if not rule_applies(r, pf.scope):
+                continue
+            for finding in r.check(pf.tree, pf.path, pf.scope):
+                if is_suppressed(suppressions, finding.rule, finding.line):
+                    result.suppressed += 1
+                else:
+                    result.findings.append(finding)
+
+
+def _run_project_rules(
+    files: dict[str, ParsedFile], result: LintResult
+) -> None:
+    by_path_suppressions = {
+        pf.path: parse_suppressions(pf.source) for pf in files.values()
+    }
+    for r in PROJECT_RULES.values():
+        for finding in r.check(files):
+            supp = by_path_suppressions.get(finding.path, {})
+            if is_suppressed(supp, finding.rule, finding.line):
+                result.suppressed += 1
+            else:
+                result.findings.append(finding)
+
+
+def run_lint(
+    paths: list[pathlib.Path],
+    *,
+    run_model: bool = True,
+    model_seeds: tuple[int, ...] = (1, 2, 3),
+    topology_files: list[pathlib.Path] | None = None,
+) -> LintResult:
+    """Run every applicable rule; returns findings sorted by location.
+
+    ``paths`` are files/directories for the code and project rules.  Model
+    rules run over irregular topologies generated at ``model_seeds`` under
+    the default parameters, plus any explicitly supplied topology JSON
+    files.  Model imports stay lazy so source-only linting never pulls in
+    the simulator.
+    """
+    result = LintResult()
+    files: dict[str, ParsedFile] = {}
+    for path in collect_py_files(paths):
+        try:
+            pf = parse_file(path, roots=paths)
+        except SyntaxError as exc:
+            result.findings.append(Finding(
+                rule="parse-error",
+                severity=Severity.ERROR,
+                path=str(path),
+                line=exc.lineno or 0,
+                col=exc.offset or 0,
+                message=f"file does not parse: {exc.msg}",
+            ))
+            continue
+        files[pf.path] = pf
+    result.files_scanned = len(files)
+
+    _run_code_rules(files, result)
+    _run_project_rules(files, result)
+
+    if run_model:
+        from repro.lint.model_rules import context_from_topology, default_contexts
+        from repro.lint.registry import MODEL_RULES
+
+        contexts = default_contexts(model_seeds) if model_seeds else []
+        for tf in topology_files or []:
+            from repro.params import SimParams
+            from repro.topology.serialization import load_topology
+
+            try:
+                topo = load_topology(tf)
+            except (OSError, ValueError, KeyError, TypeError) as exc:
+                raise LintUsageError(
+                    f"cannot load topology {tf}: {exc}"
+                ) from exc
+            params = SimParams(
+                num_nodes=topo.num_nodes,
+                num_switches=topo.num_switches,
+                ports_per_switch=topo.ports_per_switch,
+            )
+            contexts.append(context_from_topology(topo, params, tf.name))
+        for ctx in contexts:
+            for r in MODEL_RULES.values():
+                result.findings.extend(r.check(ctx))
+        result.contexts_checked = len(contexts)
+
+    result.findings.sort(key=Finding.sort_key)
+    return result

@@ -1,0 +1,121 @@
+"""Whole-project rules: checks that need every scanned file at once."""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.findings import Finding, Severity
+from repro.lint.registry import rule
+from repro.lint.sources import ParsedFile
+
+
+def _module_level_imports(tree: ast.Module) -> list[tuple[int, str, str | None]]:
+    """(line, module, imported-name) for top-level runtime imports.
+
+    Only direct module-body statements count: imports inside functions are
+    deliberate cycle breakers, and imports under ``if`` guards (e.g.
+    ``TYPE_CHECKING``) do not execute as part of the import graph we model.
+    """
+    out: list[tuple[int, str, str | None]] = []
+    for node in tree.body:
+        if isinstance(node, ast.Import):
+            for a in node.names:
+                out.append((node.lineno, a.name, None))
+        elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+            for a in node.names:
+                out.append((node.lineno, node.module, a.name))
+    return out
+
+
+def _resolve_deps(
+    pf: ParsedFile, modules: dict[str, ParsedFile]
+) -> dict[str, int]:
+    """Scanned modules this file imports at module level -> import line.
+
+    ``from pkg import name`` resolves to the submodule ``pkg.name`` when that
+    submodule was scanned (importing a sibling through the package is not a
+    dependency on everything the package ``__init__`` pulls in); otherwise it
+    is a dependency on ``pkg`` itself.
+    """
+    deps: dict[str, int] = {}
+    for line, mod, name in _module_level_imports(pf.tree):
+        target = None
+        if name is not None and f"{mod}.{name}" in modules:
+            target = f"{mod}.{name}"
+        elif mod in modules:
+            target = mod
+        if target is not None and target != pf.module:
+            deps.setdefault(target, line)
+    return deps
+
+
+@rule(
+    "import-cycle",
+    kind="project",
+    description="module-level import cycles across repro.* modules are banned",
+    rationale=(
+        "An import cycle forces import-order-dependent initialisation -- "
+        "the code-level analogue of the routing cycles the CDG check "
+        "forbids -- and breaks the layering (topology -> routing -> sim -> "
+        "schemes -> experiments) the architecture relies on."
+    ),
+    severity=Severity.ERROR,
+)
+def check_import_cycles(files: dict[str, ParsedFile]) -> list[Finding]:
+    modules = {pf.module: pf for pf in files.values()}
+    deps = {m: _resolve_deps(pf, modules) for m, pf in modules.items()}
+
+    # Tarjan SCC: every SCC with >1 module (or a self-edge) is one finding.
+    index: dict[str, int] = {}
+    low: dict[str, int] = {}
+    on_stack: set[str] = set()
+    stack: list[str] = []
+    counter = [0]
+    sccs: list[list[str]] = []
+
+    def strongconnect(m: str) -> None:
+        index[m] = low[m] = counter[0]
+        counter[0] += 1
+        stack.append(m)
+        on_stack.add(m)
+        for d in deps[m]:
+            if d not in index:
+                strongconnect(d)
+                low[m] = min(low[m], low[d])
+            elif d in on_stack:
+                low[m] = min(low[m], index[d])
+        if low[m] == index[m]:
+            scc = []
+            while True:
+                n = stack.pop()
+                on_stack.discard(n)
+                scc.append(n)
+                if n == m:
+                    break
+            sccs.append(scc)
+
+    for m in sorted(deps):
+        if m not in index:
+            strongconnect(m)
+
+    findings: list[Finding] = []
+    for scc in sccs:
+        if len(scc) < 2:
+            continue
+        members = sorted(scc)
+        anchor = modules[members[0]]
+        in_cycle = [d for d in deps[members[0]] if d in scc]
+        line = deps[members[0]][in_cycle[0]] if in_cycle else 1
+        findings.append(Finding(
+            rule="import-cycle",
+            severity=Severity.ERROR,
+            path=anchor.path,
+            line=line,
+            col=0,
+            message=(
+                "module-level import cycle: " + " <-> ".join(members)
+                + "; break it with a function-local import or by moving "
+                "the shared definition down a layer"
+            ),
+        ))
+    return findings

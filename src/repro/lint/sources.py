@@ -1,0 +1,105 @@
+"""Source discovery: collecting, parsing, naming, and scoping files.
+
+The engine hands rules pre-parsed files.  Two pieces of derived metadata
+matter to rules:
+
+* the **module name** (``repro.sim.engine``) -- used by the import-cycle
+  rule to resolve ``from repro.experiments import fig06_ratio`` to the
+  submodule rather than to the package ``__init__``;
+* the **scope** -- the sub-package under ``repro`` a file belongs to
+  (``sim``, ``routing``, ...), which gates the determinism rules.  Files
+  outside any recognisable package (test fixtures, loose scripts) get scope
+  ``None``, which means *every* rule applies.
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+from dataclasses import dataclass
+
+from repro.lint.registry import SIM_SCOPES
+
+
+@dataclass(frozen=True)
+class ParsedFile:
+    """One syntactically valid python file ready for rule visits."""
+
+    path: str
+    module: str
+    scope: str | None
+    tree: ast.Module
+    source: str
+
+
+def collect_py_files(paths: list[pathlib.Path]) -> list[pathlib.Path]:
+    """Expand files/directories into a sorted, de-duplicated .py file list."""
+    seen: dict[pathlib.Path, None] = {}
+    for p in paths:
+        if p.is_dir():
+            for f in sorted(p.rglob("*.py")):
+                seen.setdefault(f.resolve(), None)
+        elif p.suffix == ".py":
+            seen.setdefault(p.resolve(), None)
+        else:
+            raise FileNotFoundError(f"not a python file or directory: {p}")
+    return sorted(seen)
+
+
+def module_name(path: pathlib.Path, roots: list[pathlib.Path]) -> str:
+    """Dotted module name of ``path``.
+
+    Files under a ``repro`` package directory are named from it
+    (``repro.sim.engine``); other files are named relative to the scan root
+    they came from, so fixture trees get consistent resolvable names too.
+    """
+    parts = path.with_suffix("").parts
+    if "repro" in parts:
+        i = len(parts) - 1 - parts[::-1].index("repro")
+        dotted = parts[i:]
+    else:
+        dotted = parts[-1:]
+        for root in roots:
+            try:
+                rel = path.with_suffix("").resolve().relative_to(root.resolve())
+            except ValueError:
+                continue
+            dotted = rel.parts if rel.parts else dotted
+            break
+    if dotted and dotted[-1] == "__init__":
+        dotted = dotted[:-1]
+    return ".".join(dotted)
+
+
+def scope_of(path: pathlib.Path) -> str | None:
+    """Sub-package of ``repro`` the file lives in, or None if unknown.
+
+    ``""`` (directly inside ``repro/``) is a real scope: top-level modules
+    like ``params.py`` are not simulation logic.  Directories *named* like a
+    simulation package (``sim/``, ``routing/``...) count even outside a
+    ``repro`` tree, so planted-violation fixtures land in scope.
+    """
+    parts = path.parts
+    if "repro" in parts:
+        i = len(parts) - 1 - parts[::-1].index("repro")
+        rest = parts[i + 1:]
+        return rest[0] if len(rest) > 1 else ""
+    for part in parts[:-1]:
+        if part in SIM_SCOPES:
+            return part
+    return None
+
+
+def parse_file(
+    path: pathlib.Path, roots: list[pathlib.Path]
+) -> ParsedFile:
+    """Parse one file (raises SyntaxError for the engine to report)."""
+    source = path.read_text(encoding="utf-8")
+    tree = ast.parse(source, filename=str(path))
+    return ParsedFile(
+        path=str(path),
+        module=module_name(path, roots),
+        scope=scope_of(path),
+        tree=tree,
+        source=source,
+    )

@@ -1,0 +1,35 @@
+"""Per-line lint suppressions: ``# lint: disable=<rule>[,<rule>...]``.
+
+A finding is suppressed when the line it anchors to carries a disable
+comment naming its rule id (or ``all``).  Suppressions are deliberately
+line-scoped -- a file- or block-scoped escape hatch would make it too easy
+to turn a rule off wholesale and lose the invariant it guards.
+"""
+
+from __future__ import annotations
+
+import re
+
+_DISABLE_RE = re.compile(r"#\s*lint:\s*disable=([A-Za-z0-9_,\-\s]+)")
+
+
+def parse_suppressions(source: str) -> dict[int, frozenset[str]]:
+    """Map 1-based line numbers to the rule ids disabled on that line."""
+    out: dict[int, frozenset[str]] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        m = _DISABLE_RE.search(line)
+        if m:
+            rules = frozenset(
+                r.strip() for r in m.group(1).split(",") if r.strip()
+            )
+            if rules:
+                out[lineno] = rules
+    return out
+
+
+def is_suppressed(
+    suppressions: dict[int, frozenset[str]], rule_id: str, line: int
+) -> bool:
+    """Whether ``rule_id`` is disabled on ``line``."""
+    rules = suppressions.get(line)
+    return rules is not None and (rule_id in rules or "all" in rules)

@@ -244,6 +244,80 @@ def plan_path_worms(
 
 
 # ----------------------------------------------------------------------
+# Static plan verification
+# ----------------------------------------------------------------------
+def verify_plan(
+    topo,
+    rt: UpDownRouting,
+    source: int,
+    dests: list[int],
+    plan: MulticastPathPlan,
+) -> list[str]:
+    """Statically check a plan against the paper's structural invariants.
+
+    Returns a list of human-readable violations (empty when the plan is
+    sound).  Checked invariants, each tied to Section 3.2.4 / 4.2.3:
+
+    * every worm's link sequence decomposes into an up* prefix followed by
+      a down* suffix (route legality);
+    * the switch path recorded in the plan matches its link sequence;
+    * drops happen only at switches the worm actually crosses, at nodes
+      attached to those switches;
+    * the phases cover the destination set exactly once overall;
+    * every sender is the source or a destination covered in an *earlier*
+      phase, and no sender launches worms in two phases.
+    """
+    from repro.routing.paths import updown_decomposition
+
+    problems: list[str] = []
+    dset = frozenset(dests)
+    covered_so_far: set[int] = set()
+    dropped: list[int] = []
+    senders_used: set[int] = set()
+    for pi, phase in enumerate(plan.phases):
+        eligible = {source} | covered_so_far
+        for worm in phase:
+            tag = f"phase {pi + 1} worm from {worm.sender}"
+            if worm.sender not in eligible:
+                problems.append(f"{tag}: sender not yet covered")
+            if worm.sender in senders_used:
+                problems.append(f"{tag}: sender already sent in an earlier phase")
+            senders_used.add(worm.sender)
+            start = topo.switch_of_node(worm.sender)
+            if worm.switch_path[0] != start:
+                problems.append(f"{tag}: path does not start at the sender's switch")
+            if path_switches(worm.switch_path[0], list(worm.links)) != list(
+                worm.switch_path
+            ):
+                problems.append(f"{tag}: switch path disagrees with link sequence")
+            try:
+                updown_decomposition(rt, worm.switch_path[0], list(worm.links))
+            except ValueError as exc:
+                problems.append(f"{tag}: not an up*/down* path ({exc})")
+            if len(worm.drops) != len(worm.switch_path):
+                problems.append(f"{tag}: drop list length mismatch")
+            for pos, nodes in zip(worm.switch_path, worm.drops):
+                for n in nodes:
+                    if topo.switch_of_node(n) != pos:
+                        problems.append(
+                            f"{tag}: drops node {n} at switch {pos}, "
+                            f"but it is attached to switch {topo.switch_of_node(n)}"
+                        )
+            dropped.extend(worm.covered)
+        covered_so_far |= {n for worm in phase for n in worm.covered}
+    if len(dropped) != len(set(dropped)):
+        dupes = sorted({n for n in dropped if dropped.count(n) > 1})
+        problems.append(f"destinations dropped more than once: {dupes}")
+    missing = sorted(dset - set(dropped))
+    extra = sorted(set(dropped) - dset)
+    if missing:
+        problems.append(f"destinations never covered: {missing}")
+    if extra:
+        problems.append(f"non-destinations dropped: {extra}")
+    return problems
+
+
+# ----------------------------------------------------------------------
 # Execution
 # ----------------------------------------------------------------------
 class PathWormScheme(MulticastScheme):

@@ -127,6 +127,71 @@ def verify_deadlock_free(topo: NetworkTopology, rt: UpDownRouting) -> None:
         raise DeadlockCycleError(cycle)
 
 
+def build_multicast_cdg(
+    topo: NetworkTopology, rt: UpDownRouting
+) -> dict[ChannelKey, set[ChannelKey]]:
+    """CDG extended with the dependencies multidestination worms introduce.
+
+    The base graph (:func:`build_channel_dependency_graph`) covers unicast
+    traffic on *minimal* legal routes.  Multidestination worms add two things:
+
+    * **Arbitrary legal continuations.**  A tree worm's up path is chosen at
+      encode time toward a covering ancestor (not necessarily on a minimal
+      route to any single destination), and its down distribution follows the
+      reachability priority encoder.  A path worm forks a local delivery off
+      the planned path at every switch it crosses.  Both stay within the
+      up*/down* rule, so the extension adds an edge from every channel
+      entering a switch to *every* legal next channel (all up and down
+      outputs in the UP phase, all down outputs in the DOWN phase) and to
+      every delivery channel of the switch.
+
+    * **Replication branch sets.**  A replicating switch holds the branch
+      output channels of one worm *simultaneously*: while flits stream into
+      the branches already acquired, the worm blocks on the branches still
+      being requested.  Our switches acquire branches in ascending link-id
+      order (see ``TreeWormScheme.make_steer``), so the induced dependency
+      runs from each held branch to every later-ordered sibling down output
+      of the same switch -- one direction only, which is exactly why ordered
+      acquisition stays deadlock-free while unordered acquisition would not.
+
+    For any valid up*/down* orientation the result is acyclic (up DAG, then
+    down DAG, siblings ordered by link id); a corrupted orientation whose
+    "down" links form a directed cycle is detected by :func:`find_cycle`
+    even when the minimal-route tables never exercise the cycle.
+    """
+    channels: list[ChannelKey] = (
+        [("inj", n) for n in range(topo.num_nodes)]
+        + [("del", n) for n in range(topo.num_nodes)]
+        + [
+            ("fwd", lk.link_id, frm)
+            for lk in topo.links
+            for frm in (lk.a.switch, lk.b.switch)
+        ]
+    )
+    deps: dict[ChannelKey, set[ChannelKey]] = {c: set() for c in channels}
+    for chan in channels:
+        state = _arrival_state(rt, topo, chan)
+        if state is None:
+            continue
+        s, phase = state.switch, state.phase
+        for node in topo.nodes_on_switch(s):
+            deps[chan].add(("del", node))
+        if phase is Phase.UP:
+            for lk in rt.up_links_of(s):
+                deps[chan].add(("fwd", lk.link_id, s))
+        for lk in rt.down_links_of(s):
+            deps[chan].add(("fwd", lk.link_id, s))
+    # Replication branch sets: held branch -> later-ordered sibling branch.
+    for s in range(topo.num_switches):
+        down = sorted(rt.down_links_of(s), key=lambda lk: lk.link_id)
+        for i, held in enumerate(down):
+            for requested in down[i + 1:]:
+                deps[("fwd", held.link_id, s)].add(
+                    ("fwd", requested.link_id, s)
+                )
+    return deps
+
+
 def build_unrestricted_cdg(topo: NetworkTopology) -> dict[ChannelKey, set[ChannelKey]]:
     """Negative control: minimal-path routing with *no* up/down restriction.
 

@@ -58,6 +58,37 @@ def all_minimal_paths(
     return results
 
 
+def updown_decomposition(
+    rt: UpDownRouting, src_switch: int, links: list[SwitchLink]
+) -> tuple[int, int]:
+    """Split a path into its up* prefix and down* suffix lengths.
+
+    Returns ``(num_up, num_down)`` with ``num_up + num_down == len(links)``.
+    This is the constructive form of the paper's route legality condition:
+    a route is legal iff such a decomposition exists.
+
+    Raises:
+        ValueError: if the sequence is not contiguous (a link does not leave
+            the switch the previous one entered) or takes an up traversal
+            after a down traversal.
+    """
+    here = src_switch
+    num_up = num_down = 0
+    for i, lk in enumerate(links):
+        lk.end_on(here)  # raises ValueError on a non-contiguous sequence
+        if rt.is_up_traversal(lk, here):
+            if num_down:
+                raise ValueError(
+                    f"up traversal at position {i} (link {lk.link_id}) "
+                    "after the path already went down"
+                )
+            num_up += 1
+        else:
+            num_down += 1
+        here = lk.other_end(here).switch
+    return num_up, num_down
+
+
 def is_legal_path(
     rt: UpDownRouting, src_switch: int, links: list[SwitchLink]
 ) -> bool:
@@ -66,19 +97,10 @@ def is_legal_path(
     Checks contiguity (each link leaves the switch the previous one entered)
     and the no-up-after-down rule.
     """
-    here = src_switch
-    gone_down = False
-    for lk in links:
-        try:
-            lk.end_on(here)
-        except ValueError:
-            return False
-        up = rt.is_up_traversal(lk, here)
-        if up and gone_down:
-            return False
-        if not up:
-            gone_down = True
-        here = lk.other_end(here).switch
+    try:
+        updown_decomposition(rt, src_switch, links)
+    except ValueError:
+        return False
     return True
 
 

@@ -194,11 +194,12 @@ class FlitLevelFabric:
     def _tick(self) -> None:
         t = self.now
         # 1. starts scheduled for this cycle
-        for st, br in [x for x in self._pending_starts if x[0] == t]:
+        # Integer cycle counters: exact match is the tick semantics here.
+        for st, br in [x for x in self._pending_starts if x[0] == t]:  # lint: disable=float-time-eq
             self._pending_starts.remove((st, br))
             self._request(br)
         # 2. decodes completing now: request child channels
-        for dt, br in [x for x in self._pending_decodes if x[0] == t]:
+        for dt, br in [x for x in self._pending_decodes if x[0] == t]:  # lint: disable=float-time-eq
             self._pending_decodes.remove((dt, br))
             for child in br.children:
                 self._request(child)
