@@ -3,10 +3,19 @@
 The event backend exists because cycle-accurate simulation is orders of
 magnitude slower; this benchmark records the actual ratio on an identical
 scenario (and asserts both produce the same answer while at it).
+
+The ``smoke`` tests at the bottom are the CI regression baseline: a seeded
+16-switch / 4-worm multidestination scenario run on both backends, asserting
+byte-identical delivery output before timing them.  CI runs
+``pytest benchmarks/bench_backends.py -k smoke --benchmark-json=...`` and
+archives the JSON so simulator slowdowns show up in the artifact history.
 """
+
+import json
 
 from repro.params import SimParams
 from repro.routing.updown import UpDownRouting
+from repro.sim.crossval import run_event_scenario, run_flit_scenario
 from repro.sim.flitsim import FlitLevelFabric, unicast_route
 from repro.sim.network import SimNetwork
 from repro.sim.worm import Worm
@@ -15,6 +24,15 @@ from repro.topology.irregular import generate_irregular_topology
 PARAMS = SimParams(adaptive_routing=False)
 TOPO = generate_irregular_topology(PARAMS, seed=3)
 JOBS = [(i * 40, i % 8, 24 + (i % 8)) for i in range(8)]
+
+SMOKE_PARAMS = SimParams(adaptive_routing=False, num_switches=16, packet_flits=512)
+SMOKE_TOPO = generate_irregular_topology(SMOKE_PARAMS, seed=7)
+SMOKE_JOBS = [
+    (0, 7, (0, 8, 9, 24)),
+    (25, 14, (3, 4, 22, 24)),
+    (50, 5, (0, 1, 14, 19)),
+    (75, 5, (7, 8, 17, 20)),
+]
 
 
 def run_event() -> list[float]:
@@ -55,3 +73,33 @@ def test_flit_backend_speed(benchmark):
 
 def test_backends_agree_on_benchmark_scenario():
     assert run_event() == run_flit()
+
+
+# ----------------------------------------------------------------------
+# CI smoke baseline: 16-switch / 4-worm multidestination scenario
+# ----------------------------------------------------------------------
+def _delivery_bytes(deliveries: dict) -> bytes:
+    """Canonical byte encoding of a delivery map (cross-backend comparable)."""
+    rows = [[k[0], k[1], float(v)] for k, v in sorted(deliveries.items())]
+    return json.dumps(rows).encode()
+
+
+def test_smoke_backends_byte_identical():
+    ev = run_event_scenario(SMOKE_TOPO, SMOKE_PARAMS, SMOKE_JOBS)
+    fl = run_flit_scenario(SMOKE_TOPO, SMOKE_PARAMS, SMOKE_JOBS)
+    assert len(fl) == sum(len(dsts) for _, _, dsts in SMOKE_JOBS)
+    assert _delivery_bytes(ev) == _delivery_bytes(fl)
+
+
+def test_smoke_event_backend_speed(benchmark):
+    res = benchmark(lambda: run_event_scenario(SMOKE_TOPO, SMOKE_PARAMS, SMOKE_JOBS))
+    assert len(res) == 16
+
+
+def test_smoke_flit_backend_speed(benchmark):
+    res = benchmark.pedantic(
+        lambda: run_flit_scenario(SMOKE_TOPO, SMOKE_PARAMS, SMOKE_JOBS),
+        rounds=3,
+        iterations=1,
+    )
+    assert len(res) == 16

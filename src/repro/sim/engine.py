@@ -7,6 +7,10 @@ and the paper-style topology averaging both rely on.
 
 Times are integers (cycles) by convention, though the engine itself accepts
 floats (the I/O-bus DMA model produces fractional completion times).
+
+The clock only moves forward: scheduling in the past (``at``/``after``) and
+running "until" a time before ``now`` both raise ``ValueError``, and the
+``max_events`` safety valve stops after firing exactly that many events.
 """
 
 from __future__ import annotations
@@ -52,26 +56,31 @@ class Engine:
 
         Args:
             until: stop once the next event would fire after this time (the
-                clock is left at ``until``).
-            max_events: safety valve against runaway simulations; raises
-                ``RuntimeError`` when exceeded (a deadlock in the modelled
-                system would otherwise spin silently... actually a true
-                deadlock drains the queue -- this guards infinite event
-                loops such as zero-delay retry cycles).
+                clock is left at ``until``).  Must not lie before ``now``:
+                like :meth:`at`, running "until" the past raises
+                ``ValueError`` rather than silently rewinding the clock.
+            max_events: safety valve against runaway simulations; fires at
+                most ``max_events`` events and raises ``RuntimeError`` if
+                more remain (a deadlock in the modelled system would
+                otherwise spin silently... actually a true deadlock drains
+                the queue -- this guards infinite event loops such as
+                zero-delay retry cycles).
         """
+        if until is not None and until < self.now:
+            raise ValueError(f"cannot run until {until} < now {self.now}")
         fired = 0
         while self._heap:
             time, _seq, fn = self._heap[0]
             if until is not None and time > until:
                 self.now = until
                 return
+            if max_events is not None and fired >= max_events:
+                raise RuntimeError(f"exceeded max_events={max_events}")
             heapq.heappop(self._heap)
             self.now = time
             fn()
             fired += 1
             self._events_fired += 1
-            if max_events is not None and fired > max_events:
-                raise RuntimeError(f"exceeded max_events={max_events}")
         if until is not None:
             self.now = until
 

@@ -12,7 +12,12 @@ Semantics (matching DESIGN.md section 4):
 * a channel transmits one flit per cycle; a flit entering at cycle ``t``
   arrives downstream at ``t + delay``;
 * a channel is owned by one worm branch at a time, FIFO-granted, and becomes
-  free the cycle its owner's tail flit finishes crossing;
+  free the cycle its owner's tail flit finishes crossing.  There is no
+  separate free-time calendar: the grant loop clears the owner on the first
+  tick at which its tail has fully crossed and re-grants the channel on that
+  same tick, which *is* the "free the cycle the tail finishes" rule (an
+  earlier ``_free_at`` field duplicated this information, was never written,
+  and has been removed);
 * a head flit arriving at a switch decodes for ``routing_delay`` cycles and
   then requests this branch's outgoing channels;
 * flit ``m`` may be sent on a channel only when flit ``m - (B+1)`` of the
@@ -25,10 +30,22 @@ Semantics (matching DESIGN.md section 4):
 
 Routes are static trees (:class:`FlitRoute`), not adaptive -- validation
 scenarios compare deterministic routing, where both backends must agree.
+
+Complexity: each tick costs O(owned channels + in-flight branches), not
+O(all channels + all branches ever injected): starts and decodes are
+indexed by cycle, grant scanning only touches channels whose grantability
+may have changed (a new request or a freed channel), crossings settle from
+an active-branch set that drained branches leave, and fully idle stretches
+(every channel free, nothing queued or in flight) fast-forward straight to
+the next scheduled start/decode.  ``inject`` validates that ``start_time``
+is an integer cycle ``>= now`` -- anything else could never match a tick
+and the worm would silently never start.
 """
 
 from __future__ import annotations
 
+import operator
+from collections import deque
 from dataclasses import dataclass, field
 
 from repro.params import SimParams
@@ -75,6 +92,10 @@ class _Branch:
     worm_id: int
     route: FlitRoute
     depth: int = 0
+    parent: "_Branch | None" = field(default=None, repr=False)
+    rank: int = 0          # global settle order (worm order, then tree walk)
+    delay: int = 0         # channel crossing delay (precomputed at build)
+    cap: int = 0           # downstream buffer capacity + 1 (precomputed)
     children: list["_Branch"] = field(default_factory=list)
     granted: bool = False
     requested: bool = False
@@ -98,11 +119,20 @@ class FlitLevelFabric:
         self.B = params.input_buffer_flits
         self.now = 0
         self._worms: list[dict] = []
-        self._queues: dict[ChannelKey, list[_Branch]] = {}
-        self._owner: dict[ChannelKey, _Branch | None] = {}
-        self._free_at: dict[ChannelKey, int] = {}
-        self._pending_decodes: list[tuple[int, _Branch]] = []
-        self._pending_starts: list[tuple[int, _Branch]] = []
+        self._queues: dict[ChannelKey, deque[_Branch]] = {}
+        self._owner: dict[ChannelKey, _Branch] = {}
+        self._owned_order: list[_Branch] | None = None
+        """Cached depth-sorted owners; invalidated on every grant/free."""
+        self._owned_count = 0
+        self._queued_count = 0
+        self._rank_counter = 0
+        self._pending_decodes: dict[int, list[_Branch]] = {}
+        self._pending_starts: dict[int, list[_Branch]] = {}
+        self._active: dict[int, _Branch] = {}
+        """rank -> branch with in-flight flits (``crossed < sent``)."""
+        self._grant_candidates: dict[ChannelKey, None] = {}
+        """Ordered set of channels whose grantability may have changed."""
+        self._to_free: list[ChannelKey] = []
         self.deliveries: dict[tuple[int, int], int] = {}
         """(worm_id, node) -> cycle the tail arrived at the NI."""
 
@@ -125,19 +155,51 @@ class FlitLevelFabric:
     # ------------------------------------------------------------------
     def inject(self, start_time: int, route: FlitRoute, worm_id: int | None = None) -> int:
         """Schedule a worm: its root (injection) channel is requested at
-        ``start_time``.  Returns the worm id."""
+        ``start_time``.  Returns the worm id.
+
+        ``start_time`` must be an integer cycle not in the past: the tick
+        loop matches starts by exact cycle, so a fractional or already-past
+        start would never fire and the worm would spin ``run()`` into its
+        ``max_cycles`` guard instead of starting.
+        """
+        try:
+            start_time = operator.index(start_time)
+        except TypeError:
+            raise TypeError(
+                f"start_time must be an integer cycle, got {start_time!r}"
+            ) from None
+        if start_time < self.now:
+            raise ValueError(
+                f"start_time {start_time} is in the past (now={self.now})"
+            )
         wid = worm_id if worm_id is not None else len(self._worms)
 
-        def build(r: FlitRoute, depth: int = 0) -> _Branch:
-            br = _Branch(worm_id=wid, route=r, depth=depth)
-            br.children = [build(c, depth + 1) for c in r.children]
+        def build(r: FlitRoute, parent: _Branch | None, depth: int) -> _Branch:
+            br = _Branch(
+                worm_id=wid,
+                route=r,
+                depth=depth,
+                parent=parent,
+                delay=self._delay(r.channel),
+                cap=self._buffer_of(r.channel) + 1,
+            )
+            br.children = [build(c, br, depth + 1) for c in r.children]
             if not br.children and r.channel[0] != "del":
                 raise ValueError("route leaf must be a delivery channel")
             return br
 
-        root = build(route)
+        root = build(route, None, 0)
+        # Settle ranks replicate the historical full-tree walk order (worms
+        # in injection order, each tree in LIFO-stack order), so same-cycle
+        # decode requests keep their exact FIFO arrival order.
+        stack = [root]
+        while stack:
+            br = stack.pop()
+            br.rank = self._rank_counter
+            self._rank_counter += 1
+            stack.extend(br.children)
         self._worms.append({"id": wid, "root": root})
-        self._pending_starts.append((start_time, root))
+        self._pending_starts.setdefault(start_time, []).append(root)
         return wid
 
     # ------------------------------------------------------------------
@@ -148,33 +210,12 @@ class FlitLevelFabric:
             raise AssertionError("double request")
         branch.requested = True
         key = branch.key
-        self._queues.setdefault(key, []).append(branch)
-        self._owner.setdefault(key, None)
-        self._free_at.setdefault(key, 0)
-
-    def _upstream_ok(self, branch: _Branch, parent: _Branch | None, m: int) -> bool:
-        """Is flit ``m`` of this branch present at the source buffer?"""
-        if parent is None:
-            return True  # source NI holds the whole packet
-        return parent.crossed > m
-
-    def _capacity_ok(self, branch: _Branch, m: int) -> bool:
-        """Downstream-capacity recurrence along single chains.
-
-        Replication forks (more than one child) are exempt: replicating
-        switches provide per-port full-packet replication buffers
-        (deadlock-free replication support, paper section 3.3), so a fork
-        absorbs the packet regardless of its branches' progress.
-        """
-        if len(branch.children) != 1:
-            return True  # delivery sink, or fork with replication buffers
-        need = m - (self._buffer_of(branch.key) + 1)
-        if need < 0:
-            return True
-        deadline = self.now + self._delay(branch.key)
-        child = branch.children[0]
-        finish = child.finish_times.get(need)
-        return finish is not None and finish <= deadline
+        queue = self._queues.get(key)
+        if queue is None:
+            queue = self._queues[key] = deque()
+        queue.append(branch)
+        self._queued_count += 1
+        self._grant_candidates[key] = None
 
     def run(self, max_cycles: int = 2_000_000) -> None:
         """Tick until every injected worm has fully drained."""
@@ -184,103 +225,124 @@ class FlitLevelFabric:
                 raise RuntimeError("flit-level simulation exceeded max_cycles")
 
     def _all_done(self) -> bool:
-        if self._pending_starts or self._pending_decodes:
-            return False
-        for key, owner in self._owner.items():
-            if owner is not None or self._queues.get(key):
-                return False
-        return True
+        return not (
+            self._pending_starts
+            or self._pending_decodes
+            or self._owned_count
+            or self._queued_count
+        )
 
     def _tick(self) -> None:
         t = self.now
+        # 0. nothing owned, queued, or in flight: every intervening cycle is
+        # a no-op, so jump straight to the next scheduled start/decode.
+        if not (self._active or self._owned_count or self._queued_count):
+            upcoming = [
+                cyc
+                for pending in (self._pending_starts, self._pending_decodes)
+                if pending
+                for cyc in (min(pending),)
+            ]
+            if upcoming:
+                nxt = min(upcoming)
+                if nxt > t:
+                    t = self.now = nxt
         # 1. starts scheduled for this cycle
-        # Integer cycle counters: exact match is the tick semantics here.
-        for st, br in [x for x in self._pending_starts if x[0] == t]:  # lint: disable=float-time-eq
-            self._pending_starts.remove((st, br))
+        for br in self._pending_starts.pop(t, ()):
             self._request(br)
         # 2. decodes completing now: request child channels
-        for dt, br in [x for x in self._pending_decodes if x[0] == t]:  # lint: disable=float-time-eq
-            self._pending_decodes.remove((dt, br))
+        for br in self._pending_decodes.pop(t, ()):
             for child in br.children:
                 self._request(child)
-        # 3. free channels whose owner's tail has fully crossed
-        for key, owner in list(self._owner.items()):
-            if owner is not None and owner.crossed >= self.L:
-                self._owner[key] = None
-        # 4. grants (FIFO)
-        for key, queue in self._queues.items():
-            if queue and self._owner.get(key) is None and self._free_at.get(key, 0) <= t:
-                branch = queue.pop(0)
-                self._owner[key] = branch
-                branch.granted = True
+        # 3. free channels whose owner's tail has fully crossed (marked by
+        # the settle pass of the previous tick)
+        if self._to_free:
+            for key in self._to_free:
+                del self._owner[key]
+                self._owned_count -= 1
+                if self._queues.get(key):
+                    self._grant_candidates[key] = None
+            self._to_free.clear()
+            self._owned_order = None
+        # 4. grants (FIFO): only channels with a new request or a fresh
+        # release can change state; everything else is skipped.
+        if self._grant_candidates:
+            for key in self._grant_candidates:
+                queue = self._queues.get(key)
+                if queue and key not in self._owner:
+                    branch = queue.popleft()
+                    self._queued_count -= 1
+                    self._owner[key] = branch
+                    self._owned_count += 1
+                    branch.granted = True
+                    self._owned_order = None
+            self._grant_candidates.clear()
         # 5. transmissions: each owned channel moves at most one flit.
         # Deepest branches first: a parent's capacity check must see its
         # child's send of this same cycle (a child's availability check only
         # depends on crossings settled at the end of earlier cycles, so the
         # leaf-first order is a valid topological schedule).
-        arrivals: list[tuple[_Branch, int]] = []
-        owned = sorted(
-            (
-                (key, branch)
-                for key, branch in self._owner.items()
-                if branch is not None
-            ),
-            key=lambda kb: -kb[1].depth,
-        )
-        for key, branch in owned:
+        order = self._owned_order
+        if order is None:
+            order = self._owned_order = sorted(
+                self._owner.values(), key=lambda b: -b.depth
+            )
+        L = self.L
+        for branch in order:
             m = branch.sent
-            if m >= self.L:
+            if m >= L:
                 continue
-            parent = self._parent_of(branch)
-            if not self._upstream_ok(branch, parent, m):
+            # upstream availability: flit m must have crossed the parent
+            # channel (the source NI holds the whole packet for the root)
+            parent = branch.parent
+            if parent is not None and parent.crossed <= m:
                 continue
-            if not self._capacity_ok(branch, m):
-                continue
-            branch.sent += 1
-            finish = t + self._delay(key)
-            branch.finish_times[m] = finish
-            arrivals.append((branch, finish))
+            # downstream capacity along single chains: flit m may enter only
+            # once flit m - (B+1) has cleared the next channel.  Replication
+            # forks (2+ children) are exempt -- replicating switches provide
+            # per-port full-packet replication buffers (deadlock-free
+            # replication support, paper section 3.3) -- and so are delivery
+            # sinks (no children; the NI absorbs at wire rate).
+            if len(branch.children) == 1:
+                need = m - branch.cap
+                if need >= 0:
+                    finish = branch.children[0].finish_times.get(need)
+                    if finish is None or finish > t + branch.delay:
+                        continue
+            branch.sent = m + 1
+            branch.finish_times[m] = t + branch.delay
+            self._active[branch.rank] = branch
         # 6. process arrivals due exactly at future times lazily: instead of
         # a calendar, advance crossed counters when their finish time passes.
         self.now += 1
         self._settle_crossings()
 
     def _settle_crossings(self) -> None:
-        """Promote flits whose finish time has been reached."""
+        """Promote flits whose finish time has been reached.
+
+        Only branches with in-flight flits are visited, in the deterministic
+        rank order assigned at injection (matching the historical full-tree
+        walk); a branch leaves the active set once fully settled.
+        """
+        if not self._active:
+            return
         t = self.now
-        for worm in self._worms:
-            stack = [worm["root"]]
-            while stack:
-                br = stack.pop()
-                while br.crossed < br.sent and br.finish_times[br.crossed] <= t:
-                    m = br.crossed
-                    br.crossed += 1
-                    if m == 0 and br.children:
-                        # head arrived at the next switch: decode then fan out
-                        self._pending_decodes.append(
-                            (br.finish_times[0] + self.params.routing_delay, br)
-                        )
-                    if m == self.L - 1 and not br.children:
+        for rank in sorted(self._active):
+            br = self._active[rank]
+            ft = br.finish_times
+            while br.crossed < br.sent and ft[br.crossed] <= t:
+                m = br.crossed
+                br.crossed += 1
+                if m == 0 and br.children:
+                    # head arrived at the next switch: decode then fan out
+                    self._pending_decodes.setdefault(
+                        ft[0] + self.params.routing_delay, []
+                    ).append(br)
+                if m == self.L - 1:
+                    if not br.children:
                         node = br.route.channel[1]
-                        self.deliveries[(br.worm_id, node)] = br.finish_times[m]
-                stack.extend(br.children)
-
-    def _parent_of(self, branch: _Branch) -> _Branch | None:
-        for worm in self._worms:
-            found = self._find_parent(worm["root"], branch)
-            if found is not None:
-                return found
-            if worm["root"] is branch:
-                return None
-        return None
-
-    @staticmethod
-    def _find_parent(root: _Branch, target: _Branch) -> _Branch | None:
-        stack = [root]
-        while stack:
-            br = stack.pop()
-            for c in br.children:
-                if c is target:
-                    return br
-                stack.append(c)
-        return None
+                        self.deliveries[(br.worm_id, node)] = ft[m]
+                    # tail fully crossed: the owned channel frees next tick
+                    self._to_free.append(br.key)
+            if br.crossed == br.sent:
+                del self._active[rank]

@@ -22,6 +22,12 @@ back-pressures the shared feed.  Without that hardware support, two
 multidestination worms replicating across each other genuinely deadlock --
 the cycle-accurate reference backend (:mod:`repro.sim.flitsim`) reproduces
 both behaviours, and the cross-validation suite pins this model to it.
+
+Complexity: finalization is event-driven -- each grant or expansion
+re-attempts only the changed hop and the hops whose constraint walks are
+registered as blocked on it, so a grant costs O(affected hops x walk
+length) rather than rescanning the whole replication tree (see
+:meth:`Worm._refinalize`).
 """
 
 from __future__ import annotations
@@ -60,7 +66,16 @@ SteerFn = Callable[[int, object], list["Deliver | Forward"]]
 
 
 class _NotFinal(Exception):
-    """A tail-time bound still depends on a pending grant/expansion."""
+    """A tail-time bound still depends on a pending grant/expansion.
+
+    Carries the *blocker*: the ungranted/unexpanded hop the constraint walk
+    stopped at.  The failed hop parks itself on the blocker's waiter list
+    and is only re-attempted when that hop changes state.
+    """
+
+    def __init__(self, blocker: "_Hop") -> None:
+        super().__init__("tail-time bound not final")
+        self.blocker = blocker
 
 
 @dataclass
@@ -69,11 +84,14 @@ class _Hop:
 
     channel: Channel
     parent: "_Hop | None"
+    idx: int = 0            # creation order (finalization tie-break)
     h: float | None = None  # header finished crossing; None until granted
     terminal: bool = False  # delivery hop: chain ends here
     expanded: bool = False  # children hops all created (requests issued)
     children: list["_Hop"] = field(default_factory=list)
     release_scheduled: bool = False
+    waiters: list["_Hop"] = field(default_factory=list, repr=False)
+    """Hops whose last finalization attempt blocked on this hop."""
 
 
 class Worm:
@@ -148,7 +166,7 @@ class Worm:
                 f"worm {self.label!r} routed across channel {channel.name} twice"
             )
         self._channels_used.add(channel.uid)
-        hop = _Hop(channel=channel, parent=parent)
+        hop = _Hop(channel=channel, parent=parent, idx=len(self._hops))
         if parent is not None:
             parent.children.append(hop)
         self._hops.append(hop)
@@ -170,7 +188,7 @@ class Worm:
                     hop.h + self.params.routing_delay,
                     lambda: self._expand(hop, next_state),
                 )
-            self._refinalize()
+            self._refinalize(hop)
 
         hop.channel.request(granted)
 
@@ -214,7 +232,7 @@ class Worm:
             else:  # pragma: no cover - type guard
                 raise TypeError(f"unknown steer instruction {ins!r}")
         hop.expanded = True
-        self._refinalize()
+        self._refinalize(hop)
 
     def _delivered(self, node: int) -> None:
         self._pending_deliveries -= 1
@@ -243,18 +261,37 @@ class Worm:
     # matter).  For single-chain worms this reduces exactly to the old
     # closed form; for replication trees it also captures a blocked branch
     # starving its siblings through the shared buffer.
+    #
+    # Finalization is event-driven rather than a full rescan per grant: a
+    # walk aborts at its *first* ungranted/unexpanded hop, and nothing
+    # before that blocker can change (hops are granted before they expand
+    # and both transitions are one-way), so the walk's outcome is frozen
+    # until the blocker itself changes.  Each failed hop therefore parks on
+    # its blocker's waiter list, and a state change re-attempts exactly the
+    # changed hop plus its registered waiters -- O(affected) per grant, not
+    # O(all hops).  Candidates are re-attempted in hop-creation order, which
+    # keeps the engine's same-time event sequence identical to the full
+    # rescan (ties fire in schedule order).
 
-    def _refinalize(self) -> None:
-        """Attempt to finalize the tail time of every unresolved hop."""
+    def _refinalize(self, changed: _Hop) -> None:
+        """Re-attempt tail finalization for ``changed`` and its waiters."""
+        candidates = [changed]
+        if changed.waiters:
+            candidates.extend(changed.waiters)
+            changed.waiters = []
+        candidates.sort(key=lambda h: h.idx)
         L = self.length
         memo: dict[tuple[int, int], float] = {}
         now = self.engine.now
-        for hop in self._hops:
-            if hop.release_scheduled:
+        attempted: set[int] = set()
+        for hop in candidates:
+            if hop.release_scheduled or hop.idx in attempted:
                 continue
+            attempted.add(hop.idx)
             try:
                 tail = hop.channel.delay + self._send_bound(hop, L - 1, memo)
-            except _NotFinal:
+            except _NotFinal as nf:
+                nf.blocker.waiters.append(hop)
                 continue
             hop.release_scheduled = True
             when = max(tail, now)
@@ -269,11 +306,12 @@ class Worm:
     ) -> float:
         """Tightest lower bound on when flit ``idx`` enters ``hop``'s channel.
 
-        Raises :class:`_NotFinal` when an ungranted/unexpanded hop within
-        the constraint horizon makes the value still unbounded.
+        Raises :class:`_NotFinal` (carrying the blocking hop) when an
+        ungranted/unexpanded hop within the constraint horizon makes the
+        value still unbounded.
         """
         if hop.h is None:
-            raise _NotFinal
+            raise _NotFinal(hop)
         key = (id(hop), idx)
         cached = memo.get(key)
         if cached is not None:
@@ -289,7 +327,7 @@ class Worm:
         cap = hop.channel.downstream_buffer + 1
         if idx - cap >= 0 and not hop.terminal:
             if not hop.expanded:
-                raise _NotFinal
+                raise _NotFinal(hop)
             # Replicating switches provide deadlock-free replication
             # (paper section 3.3): every fork port has its own full-packet
             # replication buffer, so a blocked branch neither starves its

@@ -60,6 +60,42 @@ class TestEngine:
         with pytest.raises(RuntimeError, match="max_events"):
             eng.run(max_events=100)
 
+    def test_max_events_fires_exactly_the_limit(self):
+        # The guard must stop after exactly max_events, not max_events + 1.
+        eng = Engine()
+
+        def loop():
+            eng.after(1, loop)
+
+        eng.after(1, loop)
+        with pytest.raises(RuntimeError, match="max_events=5"):
+            eng.run(max_events=5)
+        assert eng.events_fired == 5
+
+    def test_max_events_equal_to_queue_drains_cleanly(self):
+        # A queue that drains at exactly the limit is not a runaway.
+        eng = Engine()
+        log = []
+        for i in range(4):
+            eng.at(i, lambda i=i: log.append(i))
+        eng.run(max_events=4)
+        assert log == [0, 1, 2, 3]
+
+    def test_run_until_past_raises(self):
+        # Rewinding the clock would corrupt causality, exactly like at().
+        eng = Engine()
+        eng.at(10, lambda: None)
+        eng.run()
+        assert eng.now == 10
+        with pytest.raises(ValueError, match="cannot run"):
+            eng.run(until=5)  # empty-heap branch
+        eng.at(100, lambda: None)
+        with pytest.raises(ValueError, match="cannot run"):
+            eng.run(until=5)  # pending-event branch
+        assert eng.now == 10  # clock untouched by the rejected calls
+        eng.run(until=10)  # until == now is a legal no-op
+        assert eng.now == 10
+
     def test_step_and_pending(self):
         eng = Engine()
         eng.at(1, lambda: None)

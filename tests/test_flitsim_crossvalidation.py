@@ -212,3 +212,93 @@ class TestFlitSimGuards:
         fab.inject(0, unicast_route(topo, rt, 0, 1))
         with pytest.raises(RuntimeError, match="max_cycles"):
             fab.run(max_cycles=3)
+
+    def test_inject_rejects_fractional_start(self):
+        # Regression: the tick loop matches starts by exact integer cycle,
+        # so a fractional start silently never fired and run() spun into
+        # the max_cycles guard.  It must be rejected at injection instead.
+        topo = make_line(2)
+        from repro.routing.updown import UpDownRouting
+
+        rt = UpDownRouting.build(topo)
+        fab = FlitLevelFabric(topo, SimParams())
+        with pytest.raises(TypeError, match="integer"):
+            fab.inject(0.5, unicast_route(topo, rt, 0, 1))
+
+    def test_inject_rejects_past_start(self):
+        topo = make_line(2)
+        from repro.routing.updown import UpDownRouting
+
+        rt = UpDownRouting.build(topo)
+        params = SimParams(adaptive_routing=False)
+        fab = FlitLevelFabric(topo, params)
+        fab.inject(0, unicast_route(topo, rt, 0, 1))
+        fab.run()
+        assert fab.now > 0
+        with pytest.raises(ValueError, match="past"):
+            fab.inject(0, unicast_route(topo, rt, 1, 0))
+
+
+class TestSeededScenarioAgreement:
+    """Larger seeded scenarios with concurrently replicating worms.
+
+    The expected delivery maps were captured from the pre-optimization
+    backends (which the agreement suite had pinned to each other), so these
+    tests prove the de-quadratized hot paths are bit-exact, not merely
+    self-consistent.
+    """
+
+    def _assert_both_match(self, topo, params, jobs, golden):
+        from repro.sim.crossval import run_event_scenario, run_flit_scenario
+
+        assert run_event_scenario(topo, params, jobs) == golden
+        assert run_flit_scenario(topo, params, jobs) == golden
+
+    def test_two_replicating_worms_small_buffers(self):
+        # Two multidestination worms replicating at the hub concurrently
+        # (contending for the hub->sw2 link) plus a staggered unicast,
+        # with 4-flit buffers: deep wormhole chain-blocking.
+        params = SimParams(adaptive_routing=False, input_buffer_flits=4)
+        topo = make_star(3, hosts_per_switch=2)
+        jobs = [(0, 0, (2, 4)), (0, 1, (4, 6)), (3, 3, (6,))]
+        golden = {
+            (0, 2): 134.0,
+            (0, 4): 134.0,
+            (1, 4): 263.0,
+            (1, 6): 134.0,
+            (2, 6): 263.0,
+        }
+        self._assert_both_match(topo, params, jobs, golden)
+
+    def test_seeded_16_switch_multidestination(self):
+        # The benchmark smoke scenario: 16 switches, four 4-destination
+        # worms with 512-flit packets over 64-flit buffers.
+        params = SimParams(
+            adaptive_routing=False, num_switches=16, packet_flits=512
+        )
+        topo = generate_irregular_topology(params, seed=7)
+        jobs = [
+            (0, 7, (0, 8, 9, 24)),
+            (25, 14, (3, 4, 22, 24)),
+            (50, 5, (0, 1, 14, 19)),
+            (75, 5, (7, 8, 17, 20)),
+        ]
+        golden = {
+            (0, 0): 524.0,
+            (0, 8): 521.0,
+            (0, 9): 524.0,
+            (0, 24): 524.0,
+            (1, 3): 549.0,
+            (1, 4): 546.0,
+            (1, 22): 555.0,
+            (1, 24): 1037.0,
+            (2, 0): 1037.0,
+            (2, 1): 568.0,
+            (2, 14): 568.0,
+            (2, 19): 571.0,
+            (3, 7): 1087.0,
+            (3, 8): 1081.0,
+            (3, 17): 1081.0,
+            (3, 20): 1084.0,
+        }
+        self._assert_both_match(topo, params, jobs, golden)
