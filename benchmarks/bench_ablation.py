@@ -1,11 +1,9 @@
 """E8: ablation benches for the design choices DESIGN.md calls out."""
 
-from repro.experiments.registry import run_experiment
 
-
-def test_ablation_buffer(benchmark, bench_profile, record_result):
+def test_ablation_buffer(benchmark, bench_run, record_result):
     result = benchmark.pedantic(
-        lambda: run_experiment("ablation-buffer", bench_profile),
+        lambda: bench_run("ablation-buffer"),
         rounds=1,
         iterations=1,
     )
@@ -18,9 +16,9 @@ def test_ablation_buffer(benchmark, bench_profile, record_result):
         assert all(abs(a - b) / b < 0.25 for a, b in zip(small, big))
 
 
-def test_ablation_fpfs(benchmark, bench_profile, record_result):
+def test_ablation_fpfs(benchmark, bench_run, record_result):
     result = benchmark.pedantic(
-        lambda: run_experiment("ablation-fpfs", bench_profile),
+        lambda: bench_run("ablation-fpfs"),
         rounds=1,
         iterations=1,
     )
@@ -30,9 +28,9 @@ def test_ablation_fpfs(benchmark, bench_profile, record_result):
     assert all(f < s for f, s in zip(fpfs, saf))
 
 
-def test_ablation_routing(benchmark, bench_profile, record_result):
+def test_ablation_routing(benchmark, bench_run, record_result):
     result = benchmark.pedantic(
-        lambda: run_experiment("ablation-routing", bench_profile),
+        lambda: bench_run("ablation-routing"),
         rounds=1,
         iterations=1,
     )
@@ -40,9 +38,9 @@ def test_ablation_routing(benchmark, bench_profile, record_result):
     assert result.series
 
 
-def test_ablation_path_strategy(benchmark, bench_profile, record_result):
+def test_ablation_path_strategy(benchmark, bench_run, record_result):
     result = benchmark.pedantic(
-        lambda: run_experiment("ablation-pathstrategy", bench_profile),
+        lambda: bench_run("ablation-pathstrategy"),
         rounds=1,
         iterations=1,
     )
@@ -50,9 +48,9 @@ def test_ablation_path_strategy(benchmark, bench_profile, record_result):
     assert result.series
 
 
-def test_ablation_fixed_k(benchmark, bench_profile, record_result):
+def test_ablation_fixed_k(benchmark, bench_run, record_result):
     result = benchmark.pedantic(
-        lambda: run_experiment("ablation-fixedk", bench_profile),
+        lambda: bench_run("ablation-fixedk"),
         rounds=1,
         iterations=1,
     )

@@ -1,12 +1,10 @@
 """E7: the experiments the paper mentions but omits for space (Section 4.2.3):
 host overhead magnitude, system size, and packet length."""
 
-from repro.experiments.registry import run_experiment
 
-
-def test_extra_host_overhead(benchmark, bench_profile, record_result):
+def test_extra_host_overhead(benchmark, bench_run, record_result):
     result = benchmark.pedantic(
-        lambda: run_experiment("extra-hostoverhead", bench_profile),
+        lambda: bench_run("extra-hostoverhead"),
         rounds=1,
         iterations=1,
     )
@@ -18,9 +16,9 @@ def test_extra_host_overhead(benchmark, bench_profile, record_result):
         assert all(h > l for h, l in zip(hi, lo))
 
 
-def test_extra_system_size(benchmark, bench_profile, record_result):
+def test_extra_system_size(benchmark, bench_run, record_result):
     result = benchmark.pedantic(
-        lambda: run_experiment("extra-systemsize", bench_profile),
+        lambda: bench_run("extra-systemsize"),
         rounds=1,
         iterations=1,
     )
@@ -31,9 +29,9 @@ def test_extra_system_size(benchmark, bench_profile, record_result):
     assert large < small * 1.5
 
 
-def test_extra_packet_length(benchmark, bench_profile, record_result):
+def test_extra_packet_length(benchmark, bench_run, record_result):
     result = benchmark.pedantic(
-        lambda: run_experiment("extra-packetlen", bench_profile),
+        lambda: bench_run("extra-packetlen"),
         rounds=1,
         iterations=1,
     )

@@ -5,12 +5,10 @@ R, and the NI-based scheme's latency falls monotonically as R rises while
 the path-based scheme's is R-insensitive by comparison.
 """
 
-from repro.experiments.registry import run_experiment
 
-
-def test_fig06(benchmark, bench_profile, record_result):
+def test_fig06(benchmark, bench_run, record_result):
     result = benchmark.pedantic(
-        lambda: run_experiment("fig06", bench_profile), rounds=1, iterations=1
+        lambda: bench_run("fig06"), rounds=1, iterations=1
     )
     record_result(result)
     for r in ("R=0.5", "R=1", "R=2", "R=4"):

@@ -5,12 +5,10 @@ destinations per switch => more worms, more phases) while NI- and tree-based
 schemes stay nearly flat.
 """
 
-from repro.experiments.registry import run_experiment
 
-
-def test_fig07(benchmark, bench_profile, record_result):
+def test_fig07(benchmark, bench_run, record_result):
     result = benchmark.pedantic(
-        lambda: run_experiment("fig07", bench_profile), rounds=1, iterations=1
+        lambda: bench_run("fig07"), rounds=1, iterations=1
     )
     record_result(result)
     path_8 = result.curve("8sw/path").y

@@ -5,12 +5,10 @@ shrinks as messages span more packets (FPFS pipelining vs whole-message
 store-and-forward per path phase), with tree-based best at every length.
 """
 
-from repro.experiments.registry import run_experiment
 
-
-def test_fig08(benchmark, bench_profile, record_result):
+def test_fig08(benchmark, bench_run, record_result):
     result = benchmark.pedantic(
-        lambda: run_experiment("fig08", bench_profile), rounds=1, iterations=1
+        lambda: bench_run("fig08"), rounds=1, iterations=1
     )
     record_result(result)
     for v in ("128f", "256f", "512f", "1024f"):

@@ -5,12 +5,10 @@ every R and degree; at high R the NI scheme closes on the path-based scheme
 under load.
 """
 
-from repro.experiments.registry import run_experiment
 
-
-def test_fig09(benchmark, bench_profile, record_result):
+def test_fig09(benchmark, bench_run, record_result):
     result = benchmark.pedantic(
-        lambda: run_experiment("fig09", bench_profile), rounds=1, iterations=1
+        lambda: bench_run("fig09"), rounds=1, iterations=1
     )
     record_result(result)
     for r in ("R=0.5", "R=2", "R=4"):

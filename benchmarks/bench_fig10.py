@@ -4,12 +4,10 @@ Asserts: the path-based scheme's loaded latency degrades as switches
 increase, approaching the NI-based scheme; tree-based stays uniformly good.
 """
 
-from repro.experiments.registry import run_experiment
 
-
-def test_fig10(benchmark, bench_profile, record_result):
+def test_fig10(benchmark, bench_run, record_result):
     result = benchmark.pedantic(
-        lambda: run_experiment("fig10", bench_profile), rounds=1, iterations=1
+        lambda: bench_run("fig10"), rounds=1, iterations=1
     )
     record_result(result)
     p8 = result.curve("8sw/16-way/path").y[0]

@@ -5,12 +5,10 @@ load at high degree the NI scheme's extra traffic keeps it at or behind the
 path-based scheme (the paper's Section 4.3.3 observation).
 """
 
-from repro.experiments.registry import run_experiment
 
-
-def test_fig11(benchmark, bench_profile, record_result):
+def test_fig11(benchmark, bench_run, record_result):
     result = benchmark.pedantic(
-        lambda: run_experiment("fig11", bench_profile), rounds=1, iterations=1
+        lambda: bench_run("fig11"), rounds=1, iterations=1
     )
     record_result(result)
     for v in ("128f", "512f"):

@@ -5,14 +5,24 @@ one round) at a reduced-but-representative scale, records the wall time via
 pytest-benchmark, and writes the regenerated figure data to
 ``benchmarks/results/<exp_id>.txt`` so a run leaves the paper-shaped tables
 behind for inspection.
+
+The figure benchmarks go through the experiment runner, so the environment
+controls their execution policy:
+
+* ``REPRO_BENCH_JOBS`` -- worker processes per experiment (default 1).
+  Results are byte-identical across jobs counts; only the wall time moves.
+* ``REPRO_BENCH_CACHE`` -- cache directory.  Leave unset (the default) for
+  honest timings; set it to time the warm-cache path instead.
 """
 
+import os
 import pathlib
 
 import pytest
 
 from repro.experiments.base import ExperimentResult
 from repro.experiments.config import Profile
+from repro.experiments.registry import run_experiment
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
@@ -31,6 +41,20 @@ BENCH_PROFILE = Profile(
 @pytest.fixture
 def bench_profile() -> Profile:
     return BENCH_PROFILE
+
+
+@pytest.fixture
+def bench_run(bench_profile):
+    """Run an experiment under the env-configured execution policy."""
+    jobs = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
+    cache_dir = os.environ.get("REPRO_BENCH_CACHE") or None
+
+    def _run(exp_id: str) -> ExperimentResult:
+        return run_experiment(
+            exp_id, bench_profile, jobs=jobs, cache_dir=cache_dir
+        )
+
+    return _run
 
 
 @pytest.fixture

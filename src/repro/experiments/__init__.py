@@ -8,7 +8,19 @@ the benchmark suite are thin wrappers around the registry.
 
 from repro.experiments.base import ExperimentResult, Series
 from repro.experiments.config import FULL, QUICK, Profile
-from repro.experiments.registry import EXPERIMENTS, run_experiment
+from repro.experiments.registry import (
+    EXPERIMENTS,
+    run_experiment,
+    run_experiment_with_stats,
+)
+from repro.experiments.runner import (
+    Cell,
+    CellCache,
+    ExecutionStats,
+    derive_seed,
+    execute_cells,
+    execution_context,
+)
 
 __all__ = [
     "ExperimentResult",
@@ -18,4 +30,11 @@ __all__ = [
     "FULL",
     "EXPERIMENTS",
     "run_experiment",
+    "run_experiment_with_stats",
+    "Cell",
+    "CellCache",
+    "ExecutionStats",
+    "derive_seed",
+    "execute_cells",
+    "execution_context",
 ]

@@ -1,14 +1,22 @@
-"""Result containers and generic sweep engines for the experiments."""
+"""Result containers and generic sweep engines for the experiments.
+
+Both engines decompose their figure into a flat list of independent
+:class:`~repro.experiments.runner.Cell` objects (one simulation call each,
+with its own derived seed) and hand them to
+:func:`repro.experiments.runner.execute_cells`, which consults the active
+execution context for parallelism and caching.  Cell values come back in
+canonical (submission) order, so the assembled :class:`ExperimentResult` is
+byte-identical whether cells ran serially, on a process pool, or straight
+out of the cache.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
 from repro.experiments.config import Profile
+from repro.experiments.runner import Cell, derive_seed, execute_cells
 from repro.params import SimParams
-from repro.topology.irregular import generate_topology_family
-from repro.traffic.load import run_load_experiment
-from repro.traffic.single import average_single_multicast_latency
 
 SCHEME_ORDER = ("binomial", "ni", "path", "tree")
 ENHANCED_SCHEMES = ("ni", "path", "tree")
@@ -24,6 +32,14 @@ class Series:
     x: list[float]
     y: list[float | None]
     meta: dict = field(default_factory=dict)
+
+    def y_by_x(self) -> dict[float, float | None]:
+        """``{x: y}`` lookup of this curve's points (built per call)."""
+        return dict(zip(self.x, self.y))
+
+
+_ABSENT = object()
+"""Marks an x with no point at all (vs. None, which marks saturation)."""
 
 
 @dataclass
@@ -43,16 +59,19 @@ class ExperimentResult:
         host a 28-way multicast); missing cells render as '-'.
         """
         xs = sorted({x for s in self.series for x in s.x})
+        # One {x: y} map per series up front: cell lookup is O(1) instead
+        # of an O(n) list scan per cell (O(n^2) per column overall).
+        lookups = [s.y_by_x() for s in self.series]
         header = [self.x_label] + [s.label for s in self.series]
         rows: list[list[str]] = []
         for x in xs:
             row = [f"{x:g}"]
-            for s in self.series:
-                if x in s.x:
-                    v = s.y[s.x.index(x)]
-                    row.append("sat" if v is None else f"{v:.0f}")
-                else:
+            for lookup in lookups:
+                v = lookup.get(x, _ABSENT)
+                if v is _ABSENT:
                     row.append("-")
+                else:
+                    row.append("sat" if v is None else f"{v:.0f}")
             rows.append(row)
         widths = [
             max(len(header[c]), *(len(r[c]) for r in rows)) if rows else len(header[c])
@@ -69,10 +88,47 @@ class ExperimentResult:
 
     def curve(self, label: str) -> Series:
         """Look a series up by exact label."""
-        for s in self.series:
-            if s.label == label:
-                return s
-        raise KeyError(f"no series {label!r} in {self.exp_id}")
+        by_label = {s.label: s for s in self.series}
+        try:
+            return by_label[label]
+        except KeyError:
+            raise KeyError(f"no series {label!r} in {self.exp_id}") from None
+
+
+def single_multicast_cells(
+    exp_id: str,
+    variants: dict[str, SimParams],
+    profile: Profile,
+    schemes: tuple[str, ...] = ENHANCED_SCHEMES,
+    group_sizes: tuple[int, ...] | None = None,
+) -> list[Cell]:
+    """Flatten a single-multicast sweep into independent cells.
+
+    The seed key is ``(variant, size)`` -- *not* the scheme -- so all
+    schemes of one grid point share topology and draw sequences and their
+    comparison stays paired, per the paper's methodology.
+    """
+    sizes = list(group_sizes or profile.group_sizes)
+    cells: list[Cell] = []
+    for vlabel, params in variants.items():
+        sizes_v = [s for s in sizes if s < params.num_nodes]
+        for scheme in schemes:
+            for size in sizes_v:
+                cells.append(
+                    Cell(
+                        kind="single",
+                        exp_id=exp_id,
+                        params=params,
+                        scheme=scheme,
+                        coords=(("variant", vlabel), ("size", size)),
+                        knobs=(
+                            ("n_topologies", profile.n_topologies),
+                            ("trials_per_topology", profile.trials_per_topology),
+                        ),
+                        seed=derive_seed(profile.seed, exp_id, vlabel, size),
+                    )
+                )
+    return cells
 
 
 def single_multicast_sweep(
@@ -88,22 +144,16 @@ def single_multicast_sweep(
     This is the engine behind Figures 6-8: vary one parameter across
     ``variants`` while sweeping the multicast set size on the x-axis.
     """
+    cells = single_multicast_cells(
+        exp_id, variants, profile, schemes=schemes, group_sizes=group_sizes
+    )
+    values = iter(execute_cells(cells))
     sizes = list(group_sizes or profile.group_sizes)
     series: list[Series] = []
     for vlabel, params in variants.items():
         sizes_v = [s for s in sizes if s < params.num_nodes]
         for scheme in schemes:
-            ys: list[float | None] = []
-            for size in sizes_v:
-                summ = average_single_multicast_latency(
-                    params,
-                    scheme,
-                    size,
-                    n_topologies=profile.n_topologies,
-                    trials_per_topology=profile.trials_per_topology,
-                    seed=profile.seed,
-                )
-                ys.append(summ.mean)
+            ys: list[float | None] = [next(values)["mean"] for _ in sizes_v]
             series.append(
                 Series(
                     label=f"{vlabel}/{scheme}",
@@ -121,6 +171,48 @@ def single_multicast_sweep(
     )
 
 
+def load_cells(
+    exp_id: str,
+    variants: dict[str, SimParams],
+    profile: Profile,
+    schemes: tuple[str, ...] = ENHANCED_SCHEMES,
+    degrees: tuple[int, ...] | None = None,
+) -> list[Cell]:
+    """Flatten a load sweep into independent cells (one load point each).
+
+    Each cell regenerates its variant's topology from ``params`` inside the
+    worker (deterministic and cheap next to the load simulation), so cells
+    carry no unpicklable state.  Schemes share the seed of their
+    ``(variant, degree, load)`` point for paired comparison.
+    """
+    cells: list[Cell] = []
+    for vlabel, params in variants.items():
+        for degree in degrees or profile.load_degrees:
+            for scheme in schemes:
+                for load in profile.loads:
+                    cells.append(
+                        Cell(
+                            kind="load",
+                            exp_id=exp_id,
+                            params=params,
+                            scheme=scheme,
+                            coords=(
+                                ("variant", vlabel),
+                                ("degree", degree),
+                                ("load", load),
+                            ),
+                            knobs=(
+                                ("duration", profile.load_duration),
+                                ("warmup", profile.load_warmup),
+                            ),
+                            seed=derive_seed(
+                                profile.seed, exp_id, vlabel, degree, load
+                            ),
+                        )
+                    )
+    return cells
+
+
 def load_sweep(
     exp_id: str,
     title: str,
@@ -136,24 +228,18 @@ def load_sweep(
     experiments (they are far more expensive); we use the first topology of
     the family per variant, which preserves curve shapes.
     """
+    cells = load_cells(exp_id, variants, profile, schemes=schemes, degrees=degrees)
+    values = iter(execute_cells(cells))
     series: list[Series] = []
     for vlabel, params in variants.items():
-        topo = generate_topology_family(params, 1)[0]
         for degree in degrees or profile.load_degrees:
             for scheme in schemes:
                 ys: list[float | None] = []
-                for load in profile.loads:
-                    point = run_load_experiment(
-                        topo,
-                        params,
-                        scheme,
-                        degree=degree,
-                        effective_load=load,
-                        duration=profile.load_duration,
-                        warmup=profile.load_warmup,
-                        seed=profile.seed,
+                for _load in profile.loads:
+                    point = next(values)
+                    ys.append(
+                        None if point["saturated"] else point["mean_latency"]
                     )
-                    ys.append(None if point.saturated else point.mean_latency)
                 series.append(
                     Series(
                         label=f"{vlabel}/{degree}-way/{scheme}",

@@ -6,18 +6,31 @@ Examples::
     repro-experiments run fig06
     repro-experiments run fig09 --profile full --json out/ --csv out/
     repro-experiments run all --profile quick
+    repro-experiments run figures --jobs 4 --cache-dir .repro-cache
     repro-experiments topology --seed 7 --save topo.json
+
+``--jobs N`` runs an experiment's independent cells on N worker processes;
+``--cache-dir DIR`` makes runs resumable (crash mid-``run all``, rerun the
+same command, and only missing cells execute).  The ``REPRO_CACHE_DIR``
+environment variable provides the default cache directory; ``--no-cache``
+forces caching off.  Output is byte-identical across jobs counts and cache
+states.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import pathlib
 import sys
 import time
 
 from repro.experiments.config import PROFILES
-from repro.experiments.registry import EXPERIMENTS, PAPER_FIGURES, run_experiment
+from repro.experiments.registry import (
+    EXPERIMENTS,
+    PAPER_FIGURES,
+    run_experiment_with_stats,
+)
 
 
 def _cmd_list() -> int:
@@ -40,11 +53,23 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(f"available: {', '.join(EXPERIMENTS)}", file=sys.stderr)
         return 2
 
+    cache_dir = None if args.no_cache else (args.cache_dir or None)
     for exp_id in ids:
         t0 = time.perf_counter()
-        result = run_experiment(exp_id, args.profile)
+        result, stats = run_experiment_with_stats(
+            exp_id, args.profile, jobs=args.jobs, cache_dir=cache_dir
+        )
         print(result.to_table())
-        print(f"[{exp_id} took {time.perf_counter() - t0:.1f}s]\n")
+        if stats.experiments_cached:
+            detail = "experiment cache hit"
+        elif stats.cells_total:
+            detail = (
+                f"cells: {stats.cells_executed} run, "
+                f"{stats.cells_cached} cached"
+            )
+        else:
+            detail = "no cell decomposition"
+        print(f"[{exp_id} took {time.perf_counter() - t0:.1f}s; {detail}]\n")
         if args.json:
             from repro.experiments.io import save_result_json
 
@@ -217,6 +242,27 @@ def main(argv: list[str] | None = None) -> int:
     )
     runp.add_argument("--json", metavar="DIR", help="also write <DIR>/<exp>.json")
     runp.add_argument("--csv", metavar="DIR", help="also write <DIR>/<exp>.csv")
+    runp.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for independent simulation cells (default: 1)",
+    )
+    runp.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        default=os.environ.get("REPRO_CACHE_DIR"),
+        help=(
+            "cache cell and experiment results under DIR so runs are "
+            "resumable (default: $REPRO_CACHE_DIR, else no caching)"
+        ),
+    )
+    runp.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable result caching even if a cache dir is configured",
+    )
 
     repp = sub.add_parser("report", help="run experiments, write a markdown report")
     repp.add_argument(

@@ -1,7 +1,27 @@
-"""Experiment registry: id -> runner, consumed by the CLI and benchmarks."""
+"""Experiment registry: id -> runner, consumed by the CLI and benchmarks.
+
+:func:`run_experiment` is the one entry point that applies the execution
+policy: ``jobs`` fans the experiment's cells out over worker processes and
+``cache_dir`` enables the two-tier on-disk cache --
+
+* an **experiment-level** entry (the finished ``result_to_dict`` JSON,
+  keyed by experiment id + full profile + schema version) that lets a warm
+  re-run skip the experiment entirely, and
+* the **cell-level** entries of :class:`repro.experiments.runner.CellCache`
+  that make an interrupted run resumable at simulation-call granularity.
+
+Results are byte-identical across jobs counts and cache states: cells are
+independently seeded and merged canonically, and cached JSON round-trips
+floats exactly.
+"""
 
 from __future__ import annotations
 
+import hashlib
+import json
+import os
+import pathlib
+from dataclasses import asdict
 from typing import Callable
 
 from repro.experiments import (
@@ -16,6 +36,12 @@ from repro.experiments import (
 )
 from repro.experiments.base import ExperimentResult
 from repro.experiments.config import PROFILES, Profile
+from repro.experiments.runner import (
+    SCHEMA_VERSION,
+    CellCache,
+    ExecutionStats,
+    execution_context,
+)
 
 EXPERIMENTS: dict[str, Callable[[Profile], ExperimentResult]] = {
     "fig06": fig06_ratio.run,
@@ -44,19 +70,104 @@ EXPERIMENTS: dict[str, Callable[[Profile], ExperimentResult]] = {
 PAPER_FIGURES = ("fig06", "fig07", "fig08", "fig09", "fig10", "fig11")
 
 
-def run_experiment(exp_id: str, profile: Profile | str = "quick") -> ExperimentResult:
-    """Run one experiment by id; profile may be a name or a Profile."""
+def _resolve_profile(profile: Profile | str) -> Profile:
     if isinstance(profile, str):
         try:
-            profile = PROFILES[profile]
+            return PROFILES[profile]
         except KeyError:
             raise ValueError(
                 f"unknown profile {profile!r}; choose from {sorted(PROFILES)}"
-            )
+            ) from None
+    return profile
+
+
+def _experiment_digest(exp_id: str, profile: Profile) -> str:
+    """Content hash of a whole experiment run (id + profile + schema)."""
+    payload = json.dumps(
+        {"schema": SCHEMA_VERSION, "exp_id": exp_id, "profile": asdict(profile)},
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def _experiment_cache_path(
+    cache_dir: pathlib.Path, exp_id: str, profile: Profile
+) -> pathlib.Path:
+    return (
+        cache_dir
+        / "experiments"
+        / f"{exp_id}-{profile.name}-{_experiment_digest(exp_id, profile)[:16]}.json"
+    )
+
+
+def _load_cached_experiment(path: pathlib.Path) -> ExperimentResult | None:
+    from repro.experiments.io import result_from_dict
+
+    try:
+        return result_from_dict(json.loads(path.read_text()))
+    except FileNotFoundError:
+        return None
+    except (OSError, ValueError, KeyError, TypeError) as exc:
+        print(f"experiment cache: discarding unreadable {path.name}: {exc}")
+        return None
+
+
+def _store_cached_experiment(path: pathlib.Path, result: ExperimentResult) -> None:
+    from repro.experiments.io import result_to_dict
+
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_suffix(f".tmp.{os.getpid()}")
+    tmp.write_text(json.dumps(result_to_dict(result), indent=2) + "\n")
+    os.replace(tmp, path)
+
+
+def run_experiment_with_stats(
+    exp_id: str,
+    profile: Profile | str = "quick",
+    *,
+    jobs: int = 1,
+    cache_dir: str | pathlib.Path | None = None,
+) -> tuple[ExperimentResult, ExecutionStats]:
+    """Run one experiment and report what was executed vs cache-served.
+
+    ``jobs`` sets the worker-process count for cell-decomposed experiments;
+    ``cache_dir`` (None disables caching) roots both cache tiers.
+    """
+    profile = _resolve_profile(profile)
     try:
         runner = EXPERIMENTS[exp_id]
     except KeyError:
         raise ValueError(
             f"unknown experiment {exp_id!r}; choose from {sorted(EXPERIMENTS)}"
-        )
-    return runner(profile)
+        ) from None
+
+    if cache_dir is None:
+        with execution_context(jobs=jobs) as ctx:
+            return runner(profile), ctx.stats
+
+    cache_root = pathlib.Path(cache_dir)
+    exp_path = _experiment_cache_path(cache_root, exp_id, profile)
+    cached = _load_cached_experiment(exp_path)
+    if cached is not None:
+        stats = ExecutionStats(experiments_cached=1)
+        return cached, stats
+    cell_cache = CellCache(cache_root / "cells")
+    with execution_context(jobs=jobs, cache=cell_cache) as ctx:
+        result = runner(profile)
+    _store_cached_experiment(exp_path, result)
+    return result, ctx.stats
+
+
+def run_experiment(
+    exp_id: str,
+    profile: Profile | str = "quick",
+    *,
+    jobs: int = 1,
+    cache_dir: str | pathlib.Path | None = None,
+) -> ExperimentResult:
+    """Run one experiment by id; profile may be a name or a Profile."""
+    result, _stats = run_experiment_with_stats(
+        exp_id, profile, jobs=jobs, cache_dir=cache_dir
+    )
+    return result

@@ -5,6 +5,11 @@ downstream users exploring the design space want arbitrary grids.  A sweep
 takes a base :class:`SimParams`, a grid of field overrides, and a metric
 function, and returns one flat record per grid point -- trivially exportable
 to CSV for external analysis.
+
+``grid_sweep(..., jobs=N)`` evaluates grid points on the same process-pool
+executor the experiment runner uses; the metric function must then be
+picklable (a module-level function or a callable instance such as the one
+:func:`single_latency_metric` returns -- not a closure).
 """
 
 from __future__ import annotations
@@ -35,16 +40,35 @@ class SweepRecord:
         raise KeyError(name)
 
 
+@dataclass(frozen=True)
+class _GridPoint:
+    """One picklable work item of a parallel grid sweep."""
+
+    params: SimParams
+    metric_fn: MetricFn
+
+    def __call__(self) -> dict[str, float]:
+        return self.metric_fn(self.params)
+
+
+def _run_grid_point(point: _GridPoint) -> dict[str, float]:
+    """Module-level trampoline so the pool can pickle the call."""
+    return point()
+
+
 def grid_sweep(
     base: SimParams,
     grid: dict[str, list],
     metric_fn: MetricFn,
+    jobs: int = 1,
 ) -> list[SweepRecord]:
     """Run ``metric_fn`` at every point of the cartesian grid.
 
     ``grid`` maps :class:`SimParams` field names to value lists.  Invalid
     field names fail fast (before any simulation), and every derived
-    parameter set is validated.
+    parameter set is validated.  With ``jobs > 1`` the points run on a
+    process pool; record order is canonical (the cartesian-product order)
+    either way.
     """
     if not grid:
         raise ValueError("empty grid")
@@ -52,16 +76,52 @@ def grid_sweep(
         if not hasattr(base, name):
             raise ValueError(f"SimParams has no field {name!r}")
     names = sorted(grid)
-    records: list[SweepRecord] = []
+    coords_list: list[tuple[tuple[str, object], ...]] = []
+    points: list[_GridPoint] = []
     for values in itertools.product(*(grid[n] for n in names)):
         overrides = dict(zip(names, values))
         params = base.replace(**overrides)
         params.validate()
-        metrics = metric_fn(params)
-        records.append(
-            SweepRecord(coords=tuple(zip(names, values)), metrics=dict(metrics))
-        )
-    return records
+        coords_list.append(tuple(zip(names, values)))
+        points.append(_GridPoint(params, metric_fn))
+    from repro.experiments.runner import parallel_map
+
+    metrics_list = parallel_map(_run_grid_point, points, jobs)
+    return [
+        SweepRecord(coords=coords, metrics=dict(metrics))
+        for coords, metrics in zip(coords_list, metrics_list)
+    ]
+
+
+@dataclass(frozen=True)
+class SingleLatencyMetric:
+    """Mean isolated-multicast latency per scheme, as a picklable callable.
+
+    (A closure would also work serially, but could not cross the process
+    boundary of ``grid_sweep(..., jobs=N)``.)
+    """
+
+    scheme_names: tuple[str, ...] = ("ni", "path", "tree")
+    group_size: int = 16
+    n_topologies: int = 2
+    trials: int = 2
+    seed: int = 2024
+
+    def __call__(self, params: SimParams) -> dict[str, float]:
+        from repro.traffic.single import average_single_multicast_latency
+
+        out = {}
+        for scheme in self.scheme_names:
+            summ = average_single_multicast_latency(
+                params,
+                scheme,
+                min(self.group_size, params.num_nodes - 1),
+                n_topologies=self.n_topologies,
+                trials_per_topology=self.trials,
+                seed=self.seed,
+            )
+            out[f"latency_{scheme}"] = summ.mean
+        return out
 
 
 def single_latency_metric(
@@ -72,31 +132,26 @@ def single_latency_metric(
     seed: int = 2024,
 ) -> MetricFn:
     """Metric factory: mean isolated-multicast latency per scheme."""
-    from repro.traffic.single import average_single_multicast_latency
-
-    def metric(params: SimParams) -> dict[str, float]:
-        out = {}
-        for scheme in scheme_names:
-            summ = average_single_multicast_latency(
-                params,
-                scheme,
-                min(group_size, params.num_nodes - 1),
-                n_topologies=n_topologies,
-                trials_per_topology=trials,
-                seed=seed,
-            )
-            out[f"latency_{scheme}"] = summ.mean
-        return out
-
-    return metric
+    return SingleLatencyMetric(
+        scheme_names=tuple(scheme_names),
+        group_size=group_size,
+        n_topologies=n_topologies,
+        trials=trials,
+        seed=seed,
+    )
 
 
 def sweep_to_csv(records: list[SweepRecord]) -> str:
-    """Flat CSV: coordinate columns then metric columns."""
+    """Flat CSV: coordinate columns then metric columns.
+
+    Metric columns are the sorted union of metric keys across *all*
+    records (heterogeneous metric dicts lose nothing); a record without a
+    given metric leaves that cell empty.
+    """
     if not records:
         raise ValueError("no records")
     coord_names = [k for k, _v in records[0].coords]
-    metric_names = sorted(records[0].metrics)
+    metric_names = sorted({m for r in records for m in r.metrics})
     buf = io.StringIO()
     writer = csv.writer(buf, lineterminator="\n")
     writer.writerow(coord_names + metric_names)

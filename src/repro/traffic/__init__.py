@@ -5,7 +5,12 @@ from repro.traffic.single import (
     average_single_multicast_latency,
     measure_single_multicast,
 )
-from repro.traffic.load import LoadPoint, run_load_experiment, sweep_load
+from repro.traffic.load import (
+    LoadPoint,
+    run_load_experiment,
+    saturated_by_shortfall,
+    sweep_load,
+)
 from repro.traffic.background import (
     BackgroundLoadResult,
     multicast_under_background,
@@ -17,6 +22,7 @@ __all__ = [
     "average_single_multicast_latency",
     "LoadPoint",
     "run_load_experiment",
+    "saturated_by_shortfall",
     "sweep_load",
     "BackgroundLoadResult",
     "multicast_under_background",

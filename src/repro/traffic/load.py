@@ -39,13 +39,32 @@ class LoadPoint:
 
     p95_latency: float | None
     issued: int
+    """Operations issued in the measurement window (at or after ``warmup``);
+    the statistics population and the saturation denominator."""
+
     completed: int
     saturated: bool
     """True when the offered load exceeded what the system drained."""
 
+    warmup_ops: int = 0
+    """Operations generated before ``warmup`` -- they load the network but
+    are excluded from latency statistics and the saturation check."""
+
     @property
     def completion_ratio(self) -> float:
         return self.completed / self.issued if self.issued else 1.0
+
+
+def saturated_by_shortfall(
+    issued: int, completed: int, threshold: float
+) -> bool:
+    """The completion-shortfall saturation rule.
+
+    A load point saturates when strictly fewer than ``threshold * issued``
+    of the measured operations completed within the drain window; a point
+    sitting exactly on the threshold (or with nothing measured) does not.
+    """
+    return issued > 0 and completed < threshold * issued
 
 
 def run_load_experiment(
@@ -102,16 +121,17 @@ def run_load_experiment(
         duration = max(duration, int(needed))
 
     measured: list[MulticastResult] = []
-    issued = 0
+    warmup_ops = 0
 
     def issue(node: int) -> None:
-        nonlocal issued
+        nonlocal warmup_ops
         t = net.engine.now
         dests = draw_dests(rng, topo, node, degree)
         res = scheme.execute(net, node, dests)
         if t >= warmup:
-            issued += 1
             measured.append(res)
+        else:
+            warmup_ops += 1
         # next arrival for this node
         gap = rng.expovariate(rate)
         if t + gap < duration:
@@ -126,9 +146,6 @@ def run_load_experiment(
     # Drop anything still outstanding past the drain horizon.
     completed = [r for r in measured if r.complete]
     lat = [r.latency for r in completed]
-    saturated = bool(measured) and (
-        len(completed) < saturation_threshold * len(measured)
-    )
     summary = summarize(lat) if lat else None
     return LoadPoint(
         effective_load=effective_load,
@@ -137,7 +154,10 @@ def run_load_experiment(
         p95_latency=summary.p95 if summary else None,
         issued=len(measured),
         completed=len(completed),
-        saturated=saturated,
+        saturated=saturated_by_shortfall(
+            len(measured), len(completed), saturation_threshold
+        ),
+        warmup_ops=warmup_ops,
     )
 
 

@@ -163,3 +163,29 @@ class TestCli:
         assert cli_main(["run", "ablation-fpfs"]) == 0
         out = capsys.readouterr().out
         assert "fpfs/ni" in out
+        assert "cells:" in out  # execution summary line
+
+    def test_run_with_jobs_and_cache(self, tmp_path, capsys):
+        argv = [
+            "run", "ablation-fpfs",
+            "--jobs", "2",
+            "--cache-dir", str(tmp_path),
+            "--json", str(tmp_path / "out"),
+        ]
+        assert cli_main(argv) == 0
+        cold = capsys.readouterr().out
+        assert "cells:" in cold and "run, 0 cached" in cold
+        cold_json = (tmp_path / "out" / "ablation-fpfs.json").read_bytes()
+        assert cli_main(argv) == 0
+        warm = capsys.readouterr().out
+        assert "experiment cache hit" in warm
+        assert (tmp_path / "out" / "ablation-fpfs.json").read_bytes() == cold_json
+
+    def test_no_cache_flag_disables_caching(self, tmp_path, capsys):
+        argv = [
+            "run", "ablation-fpfs",
+            "--cache-dir", str(tmp_path),
+            "--no-cache",
+        ]
+        assert cli_main(argv) == 0
+        assert not (tmp_path / "experiments").exists()

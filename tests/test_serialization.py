@@ -112,6 +112,33 @@ class TestResultSerialization:
         save_result_csv(res, path)
         assert path.read_text() == csv_text
 
+    def test_saturated_cells_roundtrip(self, tmp_path):
+        """None (saturated) y-cells survive JSON byte-exactly and export
+        as empty CSV cells -- including an all-saturated curve."""
+        res = ExperimentResult(
+            exp_id="sat",
+            title="sat",
+            x_label="load",
+            y_label="latency",
+            series=[
+                Series("dead", [0.1, 0.2], [None, None], meta={"deg": 16}),
+                Series("alive", [0.1, 0.2], [12.5, None]),
+            ],
+        )
+        path = tmp_path / "sat.json"
+        save_result_json(res, path)
+        loaded = load_result_json(path)
+        assert loaded.curve("dead").y == [None, None]
+        assert loaded.curve("alive").y == [12.5, None]
+        # byte-identity through a save/load/save cycle
+        save_result_json(loaded, tmp_path / "sat2.json")
+        assert (tmp_path / "sat2.json").read_bytes() == path.read_bytes()
+        csv_lines = result_to_csv(loaded).strip().splitlines()
+        assert csv_lines[1] == "sat,dead,0.1,"
+        assert csv_lines[4] == "sat,alive,0.2,"
+        # the table renders saturated cells, not crashes
+        assert "sat" in loaded.to_table()
+
 
 class TestCliExtensions:
     def test_run_with_exports(self, tmp_path, capsys):

@@ -71,6 +71,33 @@ class TestLatencyMetric:
         assert records[1].metrics["latency_tree"] < records[0].metrics["latency_tree"]
 
 
+def doubled_metric(params: SimParams) -> dict[str, float]:
+    """Module-level (picklable) metric for the parallel executor path."""
+    return {"m": params.o_host * 2.0}
+
+
+class TestParallelGridSweep:
+    def test_jobs_match_serial(self):
+        grid = {"o_host": [100, 200, 300]}
+        serial = grid_sweep(SimParams(), grid, doubled_metric, jobs=1)
+        parallel = grid_sweep(SimParams(), grid, doubled_metric, jobs=3)
+        assert serial == parallel
+
+    def test_real_metric_is_picklable_across_the_pool(self):
+        metric = single_latency_metric(
+            scheme_names=("tree",), group_size=4, n_topologies=1, trials=1
+        )
+        grid = {"ratio_r": [1.0, 4.0]}
+        serial = grid_sweep(SimParams(), grid, metric, jobs=1)
+        parallel = grid_sweep(SimParams(), grid, metric, jobs=2)
+        assert serial == parallel
+
+    def test_invalid_params_still_fail_fast(self):
+        # Validation happens before any worker is spawned.
+        with pytest.raises(ValueError):
+            grid_sweep(SimParams(), {"ratio_r": [-1.0]}, doubled_metric, jobs=4)
+
+
 class TestCsvExport:
     def test_layout(self, tmp_path):
         records = [
@@ -88,3 +115,17 @@ class TestCsvExport:
     def test_empty_rejected(self):
         with pytest.raises(ValueError):
             sweep_to_csv([])
+
+    def test_heterogeneous_metric_dicts_keep_all_columns(self):
+        # Regression: metric columns were taken from records[0] only, so a
+        # metric first appearing in a later record silently vanished.
+        records = [
+            SweepRecord((("a", 1),), {"x": 1.0}),
+            SweepRecord((("a", 2),), {"x": 2.0, "late": 9.0}),
+            SweepRecord((("a", 3),), {"other": 7.0}),
+        ]
+        lines = sweep_to_csv(records).strip().splitlines()
+        assert lines[0] == "a,late,other,x"
+        assert lines[1] == "1,,,1.0"
+        assert lines[2] == "2,9.0,,2.0"
+        assert lines[3] == "3,,7.0,"

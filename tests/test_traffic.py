@@ -4,7 +4,12 @@ import pytest
 
 from repro.params import SimParams
 from repro.topology.irregular import generate_irregular_topology
-from repro.traffic.load import LoadPoint, run_load_experiment, sweep_load
+from repro.traffic.load import (
+    LoadPoint,
+    run_load_experiment,
+    saturated_by_shortfall,
+    sweep_load,
+)
 from repro.traffic.single import (
     average_single_multicast_latency,
     draw_multicast,
@@ -67,7 +72,7 @@ class TestSingleDriver:
 
 
 class TestLoadDriver:
-    def run_point(self, load, scheme="tree", degree=4, **kw):
+    def run_point(self, load, scheme="tree", degree=4, warmup=4_000, **kw):
         return run_load_experiment(
             topo_default(),
             SimParams(),
@@ -75,7 +80,7 @@ class TestLoadDriver:
             degree=degree,
             effective_load=load,
             duration=40_000,
-            warmup=4_000,
+            warmup=warmup,
             **kw,
         )
 
@@ -121,6 +126,52 @@ class TestLoadDriver:
     def test_completion_ratio(self):
         p = self.run_point(0.01)
         assert p.completion_ratio == 1.0
+
+    def test_warmup_ops_counted_separately(self):
+        p = self.run_point(0.05)
+        # Warmup-window ops load the network but are not in `issued` (the
+        # measured-window population) or the saturation denominator.
+        assert p.warmup_ops > 0
+        assert p.completed <= p.issued
+        assert p.completion_ratio <= 1.0
+
+    def test_warmup_zero_means_no_warmup_ops(self):
+        p = self.run_point(0.05, warmup=0)
+        assert p.warmup_ops == 0
+        assert p.issued > 0
+
+
+class TestLoadEdgeCases:
+    def test_zero_measured_ops(self):
+        # A load so light that the expected first arrival is far past the
+        # generation window: nothing is measured, nothing saturates.
+        p = run_load_experiment(
+            topo_default(),
+            SimParams(),
+            "tree",
+            degree=4,
+            effective_load=1e-7,
+            duration=1_000,
+            warmup=100,
+            min_measured_ops=0,
+        )
+        assert p.issued == 0
+        assert p.completed == 0
+        assert p.mean_latency is None and p.p95_latency is None
+        assert not p.saturated
+        assert p.completion_ratio == 1.0
+
+    def test_all_complete_not_saturated(self):
+        assert not saturated_by_shortfall(100, 100, threshold=0.9)
+
+    def test_threshold_boundary(self):
+        # Exactly at threshold: not saturated (the rule is a strict <).
+        assert not saturated_by_shortfall(100, 90, threshold=0.9)
+        # One completion short of the threshold: saturated.
+        assert saturated_by_shortfall(100, 89, threshold=0.9)
+
+    def test_empty_sample_never_saturates(self):
+        assert not saturated_by_shortfall(0, 0, threshold=0.9)
 
 
 class TestLoadOrderings:
