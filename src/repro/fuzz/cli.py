@@ -1,0 +1,233 @@
+"""``python -m repro.fuzz`` -- the differential fuzzing front door.
+
+Verbs:
+
+* ``run`` -- generate and check seeded random scenarios until the iteration
+  count or wall-clock budget is exhausted; failures are minimized and saved
+  as corpus entries.
+* ``replay`` -- run the full oracle suite over explicit scenario files or a
+  corpus directory.  Output is byte-deterministic for the same inputs.
+* ``minimize`` -- shrink a failing scenario file to a minimal reproducer.
+* ``corpus`` -- list a corpus directory with per-entry size metadata.
+
+Exit code 0 means every check passed; 1 means violations (or, for
+``minimize``, that the input did not fail and there was nothing to shrink);
+2 means usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+from repro.fuzz import corpus as corpus_store
+from repro.fuzz.generator import generate_scenario
+from repro.fuzz.oracles import run_oracles
+from repro.fuzz.scenario import spec_label
+from repro.fuzz.shrink import minimize, oracle_predicate
+
+
+def _out(line: str = "") -> None:
+    print(line)
+
+
+def _load(path: pathlib.Path | str):
+    """Load a scenario file, or None (with a stderr message) on bad input."""
+    try:
+        return corpus_store.load_entry(path)
+    except OSError as exc:
+        print(f"cannot read {path}: {exc}", file=sys.stderr)
+    except (json.JSONDecodeError, KeyError, TypeError, ValueError) as exc:
+        print(f"not a valid scenario file {path}: {exc}", file=sys.stderr)
+    return None
+
+
+# ----------------------------------------------------------------------
+# run
+# ----------------------------------------------------------------------
+def cmd_run(args: argparse.Namespace) -> int:
+    deadline = None
+    if args.budget_seconds is not None:
+        deadline = time.perf_counter() + args.budget_seconds
+    failures = 0
+    skipped = 0
+    executed = 0
+    for index in range(args.iterations):
+        if deadline is not None and time.perf_counter() >= deadline:
+            _out(f"budget exhausted after {executed} iteration(s)")
+            break
+        scenario = generate_scenario(args.seed, index)
+        report = run_oracles(scenario)
+        executed += 1
+        skipped += len(report.skipped)
+        if report.ok:
+            if args.verbose:
+                _out(report.render())
+            continue
+        failures += 1
+        _out(report.render())
+        if args.save_failures is not None:
+            reproducer = scenario
+            if not args.no_minimize:
+                bad = frozenset(v.oracle for v in report.violations)
+                reproducer = minimize(scenario, oracle_predicate(bad))
+            path = corpus_store.save_entry(
+                reproducer,
+                args.save_failures,
+                slug="-".join(
+                    sorted({v.oracle for v in report.violations})
+                ),
+                notes="; ".join(v.render() for v in report.violations),
+            )
+            _out(f"  reproducer saved to {path}")
+    _out(
+        f"fuzz run: {executed} scenario(s), {failures} failing, "
+        f"{skipped} check(s) skipped"
+    )
+    return 1 if failures else 0
+
+
+# ----------------------------------------------------------------------
+# replay
+# ----------------------------------------------------------------------
+def _replay_paths(args: argparse.Namespace) -> list[pathlib.Path]:
+    paths = [pathlib.Path(p) for p in args.files]
+    if args.dir is not None:
+        paths.extend(corpus_store.corpus_files(args.dir))
+    return paths
+
+
+def cmd_replay(args: argparse.Namespace) -> int:
+    paths = _replay_paths(args)
+    if not paths:
+        _out("no scenario files to replay")
+        return 2
+    failures = 0
+    for path in paths:
+        scenario = _load(path)
+        if scenario is None:
+            return 2
+        report = run_oracles(scenario)
+        _out(f"{path.name}:")
+        _out(report.render())
+        if not report.ok:
+            failures += 1
+    _out(f"replayed {len(paths)} scenario(s), {failures} failing")
+    return 1 if failures else 0
+
+
+# ----------------------------------------------------------------------
+# minimize
+# ----------------------------------------------------------------------
+def cmd_minimize(args: argparse.Namespace) -> int:
+    scenario = _load(args.file)
+    if scenario is None:
+        return 2
+    report = run_oracles(scenario)
+    if report.ok:
+        _out("scenario passes every oracle; nothing to minimize")
+        return 1
+    bad = frozenset(v.oracle for v in report.violations)
+    _out(f"shrinking against oracle(s): {', '.join(sorted(bad))}")
+    small = minimize(scenario, oracle_predicate(bad))
+    out_dir = pathlib.Path(args.output).parent if args.output else \
+        pathlib.Path(args.file).parent
+    if args.output:
+        path = pathlib.Path(args.output)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(
+            json.dumps(small.to_dict(), indent=2, sort_keys=True) + "\n"
+        )
+    else:
+        path = corpus_store.save_entry(
+            small, out_dir, slug="-".join(sorted(bad)) + "-min"
+        )
+    _out(
+        f"minimized to switches={small.topo.num_switches} "
+        f"nodes={small.topo.num_nodes} links={len(small.topo.links)} "
+        f"dests={len(small.dests)} "
+        f"schemes=[{', '.join(spec_label(s) for s in small.schemes)}]"
+    )
+    _out(f"written to {path}")
+    return 0
+
+
+# ----------------------------------------------------------------------
+# corpus
+# ----------------------------------------------------------------------
+def cmd_corpus(args: argparse.Namespace) -> int:
+    entries = corpus_store.load_corpus(args.dir)
+    if not entries:
+        _out(f"no corpus entries under {args.dir}")
+        return 2
+    for path, sc in entries:
+        degraded = f" degraded={list(sc.degraded_links)}" if \
+            sc.degraded_links else ""
+        _out(
+            f"{path.name}: switches={sc.topo.num_switches} "
+            f"nodes={sc.topo.num_nodes} links={len(sc.topo.links)} "
+            f"dests={len(sc.dests)} "
+            f"schemes=[{', '.join(spec_label(s) for s in sc.schemes)}]"
+            f"{degraded}"
+        )
+    _out(f"{len(entries)} corpus entr{'y' if len(entries) == 1 else 'ies'}")
+    return 0
+
+
+# ----------------------------------------------------------------------
+# argument parsing
+# ----------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.fuzz",
+        description="differential fuzzing harness with invariant oracles",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_run = sub.add_parser("run", help="generate and check random scenarios")
+    p_run.add_argument("--seed", type=int, default=0,
+                       help="base seed of the scenario stream")
+    p_run.add_argument("--iterations", type=int, default=100,
+                       help="maximum scenarios to draw")
+    p_run.add_argument("--budget-seconds", type=float, default=None,
+                       help="wall-clock budget; stops drawing when exceeded")
+    p_run.add_argument("--save-failures", type=pathlib.Path, default=None,
+                       metavar="DIR",
+                       help="minimize failures and save reproducers here")
+    p_run.add_argument("--no-minimize", action="store_true",
+                       help="save raw failures without shrinking")
+    p_run.add_argument("--verbose", action="store_true",
+                       help="also print passing scenarios")
+    p_run.set_defaults(fn=cmd_run)
+
+    p_replay = sub.add_parser(
+        "replay", help="replay scenario files through every oracle")
+    p_replay.add_argument("files", nargs="*", help="scenario JSON files")
+    p_replay.add_argument("--dir", type=pathlib.Path, default=None,
+                          help="replay every entry of a corpus directory")
+    p_replay.set_defaults(fn=cmd_replay)
+
+    p_min = sub.add_parser(
+        "minimize", help="shrink a failing scenario to a minimal reproducer")
+    p_min.add_argument("file", help="scenario JSON file (must fail)")
+    p_min.add_argument("-o", "--output", default=None,
+                       help="write the minimized scenario here")
+    p_min.set_defaults(fn=cmd_minimize)
+
+    p_corpus = sub.add_parser("corpus", help="list a corpus directory")
+    p_corpus.add_argument("--dir", type=pathlib.Path,
+                          default=pathlib.Path("tests/fuzz_corpus"))
+    p_corpus.set_defaults(fn=cmd_corpus)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,63 @@
+"""The replayable regression corpus.
+
+Every failure the fuzzer finds -- and every interesting minimized scenario
+worth keeping -- becomes a JSON file that replays byte-deterministically
+through the full oracle suite.  The committed corpus under
+``tests/fuzz_corpus/`` runs as part of tier-1, so a scenario that once broke
+an invariant can never silently break it again.
+
+File naming: ``<slug>-<digest12>.json`` -- the content digest makes entries
+collision-free and self-identifying; the slug keeps directory listings
+readable.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import re
+
+from repro.fuzz.scenario import FuzzScenario
+
+
+def entry_name(scenario: FuzzScenario, slug: str = "scenario") -> str:
+    """Canonical file name for a corpus entry."""
+    clean = re.sub(r"[^a-z0-9]+", "-", slug.lower()).strip("-") or "scenario"
+    return f"{clean}-{scenario.digest()[:12]}.json"
+
+
+def save_entry(
+    scenario: FuzzScenario,
+    directory: str | pathlib.Path,
+    slug: str = "scenario",
+    notes: str = "",
+) -> pathlib.Path:
+    """Write one scenario into ``directory``; returns the file path."""
+    directory = pathlib.Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / entry_name(scenario, slug)
+    data = scenario.to_dict()
+    if notes:
+        data["notes"] = notes
+    path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_entry(path: str | pathlib.Path) -> FuzzScenario:
+    """Read one corpus entry back into a scenario."""
+    return FuzzScenario.from_dict(json.loads(pathlib.Path(path).read_text()))
+
+
+def corpus_files(directory: str | pathlib.Path) -> list[pathlib.Path]:
+    """All corpus entries in ``directory``, sorted by name (deterministic)."""
+    directory = pathlib.Path(directory)
+    if not directory.is_dir():
+        return []
+    return sorted(directory.glob("*.json"))
+
+
+def load_corpus(
+    directory: str | pathlib.Path,
+) -> list[tuple[pathlib.Path, FuzzScenario]]:
+    """Load every entry of a corpus directory in name order."""
+    return [(path, load_entry(path)) for path in corpus_files(directory)]

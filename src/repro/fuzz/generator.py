@@ -1,0 +1,138 @@
+"""Seeded random scenario generation.
+
+Each scenario is a fresh draw of (topology, parameters, operation, scheme
+roster): random irregular topologies in the paper's size range and below,
+optionally pre-degraded through :func:`repro.topology.faults.degrade`,
+short packets and small software overheads so a single case simulates in
+milliseconds, and every combination of buffer depth / routing-tree
+orientation / adaptivity the simulator supports.
+
+Determinism contract: scenario ``i`` of base seed ``s`` is a pure function
+of ``(s, i)`` -- sub-seeds are derived with the same sha256 construction the
+experiment runner uses for cell seeds, never Python's salted :func:`hash`.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+from repro.params import SimParams
+from repro.topology import faults
+from repro.topology.graph import NetworkTopology
+from repro.topology.irregular import generate_irregular_topology
+from repro.fuzz.scenario import FuzzScenario, derive_seed, scheme_spec
+
+MAX_NODES = 20
+"""Upper bound on hosts per scenario (keeps single-case sim time tiny)."""
+
+_SCHEME_POOL = (
+    ("binomial", {}),
+    ("ni", {}),
+    ("tree", {}),
+    ("tree", {"max_header_dests": 2}),
+    ("path", {}),
+    ("path", {"strategy": "greedy"}),
+)
+
+
+def _draw_params(rng: random.Random) -> SimParams:
+    """One random, always-valid parameter set (small and fast to simulate)."""
+    num_switches = rng.randint(2, 10)
+    ports = rng.randint(5, 9)
+    # Leave room for hosts after the spanning tree's 2*(S-1) port ends; the
+    # per-switch budget is rechecked by the topology generator itself.
+    max_nodes = min(
+        MAX_NODES,
+        num_switches * ports - 2 * (num_switches - 1),
+        num_switches * (ports - 1),
+    )
+    num_nodes = rng.randint(2, max(2, max_nodes))
+    return SimParams(
+        num_switches=num_switches,
+        ports_per_switch=ports,
+        num_nodes=num_nodes,
+        topology_seed=rng.randrange(1 << 30),
+        packet_flits=rng.choice([2, 4, 8, 16]),
+        message_packets=rng.choice([1, 1, 1, 2]),
+        input_buffer_flits=rng.choice([1, 2, 4, 64]),
+        o_host=rng.choice([0, 5, 20, 60]),
+        ratio_r=rng.choice([1.0, 2.0, 4.0]),
+        adaptive_routing=rng.random() < 0.5,
+        routing_tree=rng.choice(["bfs", "dfs"]),
+        route_seed=rng.randrange(1 << 30),
+    )
+
+
+def _draw_topology(
+    rng: random.Random, params: SimParams
+) -> tuple[NetworkTopology, tuple[int, ...]]:
+    """A connected (optionally degraded) topology for ``params``.
+
+    Rare parameter corners (a random spanning tree demanding more ports on
+    one switch than exist) make the generator raise; those draws are simply
+    retried with a fresh sub-seed, which keeps the whole function total and
+    still deterministic.
+    """
+    for attempt in range(64):
+        try:
+            topo = generate_irregular_topology(
+                params,
+                seed=rng.randrange(1 << 30),
+                extra_link_fraction=rng.choice([0.0, 0.25, 0.5, 1.0]),
+            )
+        except (ValueError, AssertionError):
+            continue
+        failed: tuple[int, ...] = ()
+        if rng.random() < 0.35:
+            try:
+                topo, failed_list = faults.degrade(
+                    topo, rng.randint(1, 2), rng=rng
+                )
+                failed = tuple(failed_list)
+            except ValueError:
+                failed = ()  # topology cannot absorb failures; keep intact
+        return topo, failed
+    raise AssertionError(
+        "topology generation failed 64 times in a row; parameter draw "
+        f"{params} is infeasible"
+    )
+
+
+def generate_scenario(base_seed: int, index: int) -> FuzzScenario:
+    """Scenario ``index`` of the run seeded by ``base_seed`` (pure function)."""
+    rng = random.Random(derive_seed(base_seed, "fuzz-scenario", index))
+    params = _draw_params(rng)
+    topo, failed = _draw_topology(rng, params)
+    # The degraded/embedded topology is authoritative; re-sync the dims.
+    params = params.replace(
+        num_switches=topo.num_switches, num_nodes=topo.num_nodes
+    )
+    n = topo.num_nodes
+    source = rng.randrange(n)
+    pool = [x for x in range(n) if x != source]
+    dests = tuple(rng.sample(pool, rng.randint(1, min(len(pool), 8))))
+    roster = rng.sample(_SCHEME_POOL, rng.randint(2, 4))
+    schemes = tuple(
+        sorted(
+            (scheme_spec(name, **kw) for name, kw in roster),
+            key=lambda s: (s[0], s[1]),
+        )
+    )
+    if any(name == "tree" for name, _ in schemes):
+        # The tree scheme's N-bit header (plus source id) must leave payload
+        # room in the packet -- the same capacity rule repro.lint enforces.
+        node_id_bits = max(1, math.ceil(math.log2(n)))
+        header_flits = math.ceil((n + node_id_bits) / 8)
+        if header_flits >= params.packet_flits:
+            params = params.replace(packet_flits=header_flits + rng.choice([1, 4]))
+    return FuzzScenario(
+        topo=topo,
+        params=params,
+        source=source,
+        dests=dests,
+        schemes=schemes,
+        compare_backends=True,
+        degraded_links=failed,
+        label=f"seed={base_seed}/iter={index}",
+    )

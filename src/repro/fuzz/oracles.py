@@ -1,0 +1,410 @@
+"""Invariant oracles: everything a scenario run must satisfy.
+
+The paper's Figures 6-11 compare three multicast support levels under the
+claim that all of them implement the *same* semantics: exactly-once delivery
+to every destination over legal up*/down* routes, on any connected irregular
+topology.  This module turns that claim into executable checks, run after
+every fuzz scenario:
+
+* **delivery** -- the operation completes, every destination's host receives
+  the message exactly once, never before the operation started;
+* **quiescence** -- no channel, CPU, or NI is still held after the engine
+  drains (a leak here is the event-model analogue of a deadlocked worm);
+* **hop-legality** -- the *dynamic* replication tree of every worm launched
+  (read back through :meth:`repro.sim.worm.Worm.hop_records`) is contiguous,
+  ends every branch in a delivery channel, and decomposes into up* then
+  down* (reusing :func:`repro.routing.paths.updown_decomposition`);
+* **plan-static** -- the path scheme's worm/phase plan passes
+  :func:`repro.multicast.pathworm.verify_plan`; the tree scheme's turn
+  switch really down-covers the destination set;
+* **header** -- the bit-string header round-trips and fits the configured
+  packet (the lint model rule's capacity formula, checked dynamically);
+* **reachability** -- the reachability table is internally consistent: the
+  root covers all nodes, attached nodes are self-reachable, port strings
+  are subsets of their switch's own string;
+* **conservation** -- per-channel flit/worm counters equal the sum over
+  audited worms that crossed the channel (flits are neither lost nor
+  duplicated in flight);
+* **monotone-time** -- trace timestamps never decrease and the engine clock
+  ends at/after the last delivery;
+* **scheme-differential** -- every scheme in the roster delivers the same
+  destination set for the same (topology, operation) cell;
+* **backend-differential** -- the merged static-route tree produces
+  identical per-destination tail times on the worm-level event backend and
+  the flit-level reference backend (skipped when deterministic unicast
+  routes re-converge and no merged tree exists).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.multicast import make_scheme
+from repro.multicast.pathworm import plan_path_worms, verify_plan
+from repro.routing.paths import updown_decomposition
+from repro.routing.reachability import (
+    ReachabilityTable,
+    decode_mask,
+    header_mask,
+)
+from repro.routing.updown import UpDownRouting
+from repro.sim.crossval import (
+    multicast_route,
+    run_event_scenario,
+    run_flit_scenario,
+)
+from repro.sim.network import SimNetwork
+from repro.sim.tracelog import TraceLog
+from repro.fuzz.scenario import FuzzScenario, SchemeSpec, spec_label
+
+MAX_EVENTS = 500_000
+"""Event budget per scheme run; exceeding it is reported as a runaway."""
+
+FLIT_BITS = 8
+"""Bits per flit (1-byte flits), as in the lint header-capacity rule."""
+
+ORACLES = (
+    "delivery",
+    "quiescence",
+    "hop-legality",
+    "plan-static",
+    "header",
+    "reachability",
+    "conservation",
+    "monotone-time",
+    "scheme-differential",
+    "backend-differential",
+)
+"""Every oracle name, in report order."""
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One broken invariant, attributed to an oracle and a context."""
+
+    oracle: str
+    context: str
+    """Scheme label (``path(strategy=greedy)``), ``topology``, or
+    ``backends`` -- where the violation was observed."""
+
+    message: str
+
+    def render(self) -> str:
+        return f"[{self.oracle}] {self.context}: {self.message}"
+
+
+@dataclass
+class ScenarioReport:
+    """Outcome of one scenario's full oracle pass."""
+
+    scenario: FuzzScenario
+    violations: list[Violation] = field(default_factory=list)
+    skipped: list[str] = field(default_factory=list)
+    deliveries: dict[str, dict[int, float]] = field(default_factory=dict)
+    """Per-scheme-label map of destination -> host delivery time."""
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def render(self) -> str:
+        """Deterministic multi-line report (byte-stable across runs)."""
+        sc = self.scenario
+        head = (
+            f"scenario {sc.digest()[:12]}"
+            f" switches={sc.topo.num_switches} nodes={sc.topo.num_nodes}"
+            f" links={len(sc.topo.links)} source={sc.source}"
+            f" dests={list(sc.dests)}"
+            f" schemes=[{', '.join(spec_label(s) for s in sc.schemes)}]"
+        )
+        if sc.degraded_links:
+            head += f" degraded={list(sc.degraded_links)}"
+        if sc.label:
+            head += f" ({sc.label})"
+        lines = [head]
+        for note in self.skipped:
+            lines.append(f"  skipped: {note}")
+        if self.ok:
+            lines.append("  ok")
+        else:
+            lines.append(f"  {len(self.violations)} violation(s):")
+            for v in self.violations:
+                lines.append(f"    {v.render()}")
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Per-scheme dynamic run
+# ----------------------------------------------------------------------
+def _audit_worm_hops(
+    net: SimNetwork, label: str, out: list[Violation]
+) -> dict[int, tuple[int, int]]:
+    """Check every launched worm's hop tree; return per-channel traffic.
+
+    Returns ``{channel uid: (flits, worms)}`` accumulated over the audited
+    worms, which the conservation oracle compares against the fabric's own
+    counters.
+    """
+    rt = net.routing
+    expected: dict[int, tuple[int, int]] = {}
+    for w_index, worm in enumerate(net.worm_log or ()):
+        hops = worm.hop_records()
+        tag = f"worm {w_index} ({worm.label or 'unlabelled'})"
+        if not hops:
+            out.append(Violation(
+                "hop-legality", label, f"{tag} recorded no hops"))
+            continue
+        children: dict[int, list[int]] = {i: [] for i in range(len(hops))}
+        root_idx = None
+        for i, (parent, ch) in enumerate(hops):
+            flits, worms = expected.get(ch.uid, (0, 0))
+            expected[ch.uid] = (flits + worm.length, worms + 1)
+            if parent is None:
+                if ch.kind != "inject":
+                    out.append(Violation(
+                        "hop-legality", label,
+                        f"{tag} roots at non-injection channel {ch.name}"))
+                root_idx = i
+            else:
+                children[parent].append(i)
+                p_ch = hops[parent][1]
+                from_sw = ch.from_switch if ch.kind != "inject" else None
+                if p_ch.to_switch is None or from_sw != p_ch.to_switch:
+                    out.append(Violation(
+                        "hop-legality", label,
+                        f"{tag} discontinuous: {p_ch.name} -> {ch.name}"))
+        if root_idx is None:
+            out.append(Violation(
+                "hop-legality", label, f"{tag} has no injection root"))
+            continue
+        # Every leaf must deliver; every root-to-leaf chain must be up*/down*.
+        for i, (parent, ch) in enumerate(hops):
+            if children[i]:
+                continue
+            if ch.kind != "deliver":
+                out.append(Violation(
+                    "hop-legality", label,
+                    f"{tag} leaves the worm stranded on {ch.name}"))
+                continue
+            chain = []
+            j: int | None = i
+            while j is not None:
+                chain.append(hops[j][1])
+                j = hops[j][0]
+            chain.reverse()
+            links = [c.link for c in chain if c.kind == "forward"]
+            start = chain[0].to_switch
+            try:
+                updown_decomposition(rt, start, links)
+            except ValueError as exc:
+                out.append(Violation(
+                    "hop-legality", label,
+                    f"{tag} illegal route to node {ch.to_node}: {exc}"))
+    return expected
+
+
+def _check_conservation(
+    net: SimNetwork,
+    expected: dict[int, tuple[int, int]],
+    label: str,
+    out: list[Violation],
+) -> None:
+    for ch in net.fabric.all_channels():
+        flits, worms = expected.get(ch.uid, (0, 0))
+        if ch.flits_carried != flits or ch.worms_carried != worms:
+            out.append(Violation(
+                "conservation", label,
+                f"channel {ch.name} carried {ch.flits_carried} flits / "
+                f"{ch.worms_carried} worms but audited worms account for "
+                f"{flits} flits / {worms} worms"))
+
+
+def run_scheme(
+    scenario: FuzzScenario, spec: SchemeSpec
+) -> tuple[dict[int, float] | None, list[Violation]]:
+    """Execute one scheme on a fresh network and run the dynamic oracles.
+
+    Returns the per-destination host delivery times (``None`` when the run
+    crashed before completing) and the violations observed.
+    """
+    label = spec_label(spec)
+    out: list[Violation] = []
+    net = SimNetwork(scenario.topo, scenario.params)
+    net.trace = TraceLog(capacity=1_000_000)
+    net.worm_log = []
+    scheme = make_scheme(spec[0], **dict(spec[1]))
+    result = None
+    try:
+        result = scheme.execute(net, scenario.source, list(scenario.dests))
+        net.engine.run(max_events=MAX_EVENTS)
+    except (RuntimeError, ValueError, AssertionError, KeyError,
+            TypeError) as exc:
+        out.append(Violation(
+            "delivery", label, f"run crashed: {type(exc).__name__}: {exc}"))
+        return None, out
+
+    # delivery: exactly once, never early, all destinations.
+    dset = set(scenario.dests)
+    got = set(result.delivery_times)
+    if missing := sorted(dset - got):
+        out.append(Violation(
+            "delivery", label, f"destinations never delivered: {missing}"))
+    if extra := sorted(got - dset):
+        out.append(Violation(
+            "delivery", label, f"non-destinations delivered: {extra}"))
+    if not result.complete and not (dset - got):
+        out.append(Violation(
+            "delivery", label, "all destinations delivered but the result "
+            "record never completed"))
+    for d in sorted(got & dset):
+        when = result.delivery_times[d]
+        if not math.isfinite(when) or when < result.start_time:
+            out.append(Violation(
+                "delivery", label,
+                f"destination {d} delivered at {when!r}, before start "
+                f"{result.start_time!r}"))
+
+    # quiescence: nothing may still hold a channel or processor.
+    try:
+        net.assert_quiescent()
+    except AssertionError as exc:
+        out.append(Violation("quiescence", label, str(exc)))
+
+    # monotone-time: traced events in nondecreasing order, clock at the end.
+    records = net.trace.records()
+    for earlier, later in zip(records, records[1:]):
+        if later.time < earlier.time:
+            out.append(Violation(
+                "monotone-time", label,
+                f"trace went backwards: {earlier.event}@{earlier.time} then "
+                f"{later.event}@{later.time}"))
+            break
+    last_delivery = max(result.delivery_times.values(), default=0.0)
+    if net.engine.now < last_delivery:
+        out.append(Violation(
+            "monotone-time", label,
+            f"engine stopped at {net.engine.now} before the last delivery "
+            f"at {last_delivery}"))
+
+    # hop-legality + conservation over every worm actually launched.
+    expected = _audit_worm_hops(net, label, out)
+    _check_conservation(net, expected, label, out)
+
+    # plan-static: re-derive and verify the scheme's static plan.
+    if spec[0] == "path":
+        strategy = dict(spec[1]).get("strategy", "lg")
+        plan = plan_path_worms(
+            net, scenario.source, list(scenario.dests), strategy=strategy
+        )
+        for problem in verify_plan(
+            scenario.topo, net.routing, scenario.source,
+            list(scenario.dests), plan,
+        ):
+            out.append(Violation("plan-static", label, problem))
+    elif spec[0] == "tree" and not dict(spec[1]).get("max_header_dests"):
+        plan = scheme.plan(net, scenario.source, list(scenario.dests))
+        if not net.reach.covers(plan.turn_switch, dset):
+            out.append(Violation(
+                "plan-static", label,
+                f"turn switch {plan.turn_switch} does not down-cover "
+                f"{sorted(dset)}"))
+
+    return dict(result.delivery_times), out
+
+
+# ----------------------------------------------------------------------
+# Scenario-level checks
+# ----------------------------------------------------------------------
+def _check_topology(scenario: FuzzScenario, out: list[Violation]) -> None:
+    """Reachability- and header-consistency of the system itself."""
+    topo = scenario.topo
+    rt = UpDownRouting.build(topo, orientation=scenario.params.routing_tree)
+    reach = ReachabilityTable.build(rt)
+    all_nodes = frozenset(range(topo.num_nodes))
+    if reach.down_reach(rt.tree.root) != all_nodes:
+        out.append(Violation(
+            "reachability", "topology",
+            f"root switch {rt.tree.root} does not down-reach every node"))
+    for s in range(topo.num_switches):
+        local = set(topo.nodes_on_switch(s))
+        if not local <= reach.down_reach(s):
+            out.append(Violation(
+                "reachability", "topology",
+                f"switch {s} does not down-reach its own attached nodes"))
+        for lk in rt.down_links_of(s):
+            if not reach.port_reach(s, lk) <= reach.down_reach(s):
+                out.append(Violation(
+                    "reachability", "topology",
+                    f"switch {s} port on link {lk.link_id} claims nodes "
+                    "its switch cannot down-reach"))
+
+    if decode_mask(header_mask(scenario.dests)) != frozenset(scenario.dests):
+        out.append(Violation(
+            "header", "topology",
+            "bit-string header does not round-trip the destination set"))
+    if any(name == "tree" for name, _ in scenario.schemes):
+        n = topo.num_nodes
+        node_id_bits = max(1, math.ceil(math.log2(n)))
+        header_flits = math.ceil((n + node_id_bits) / FLIT_BITS)
+        if header_flits >= scenario.params.packet_flits:
+            out.append(Violation(
+                "header", "topology",
+                f"bit-string header needs {header_flits} flits but packets "
+                f"are only {scenario.params.packet_flits} flits"))
+
+
+def _check_backends(scenario: FuzzScenario, report: ScenarioReport) -> None:
+    """Static-route differential: event backend vs flit-level reference."""
+    topo, params = scenario.topo, scenario.params
+    rt = UpDownRouting.build(topo, orientation=params.routing_tree)
+    try:
+        multicast_route(topo, rt, scenario.source, scenario.dests)
+    except ValueError:
+        report.skipped.append(
+            "backend-differential (deterministic routes re-converge; "
+            "no merged tree exists)")
+        return
+    jobs = [(0, scenario.source, tuple(scenario.dests))]
+    event_deliveries = run_event_scenario(topo, params, jobs)
+    flit_deliveries = run_flit_scenario(topo, params, jobs)
+    if event_deliveries != flit_deliveries:
+        keys = sorted(set(event_deliveries) | set(flit_deliveries))
+        diff = [
+            f"{k}: event={event_deliveries.get(k)} "
+            f"flit={flit_deliveries.get(k)}"
+            for k in keys
+            if event_deliveries.get(k) != flit_deliveries.get(k)
+        ]
+        report.violations.append(Violation(
+            "backend-differential", "backends",
+            "delivery maps disagree: " + "; ".join(diff)))
+
+
+def run_oracles(scenario: FuzzScenario) -> ScenarioReport:
+    """Run every oracle on one scenario; the full differential pass."""
+    report = ScenarioReport(scenario=scenario)
+    _check_topology(scenario, report.violations)
+
+    for spec in scenario.schemes:
+        deliveries, violations = run_scheme(scenario, spec)
+        report.violations.extend(violations)
+        if deliveries is not None:
+            report.deliveries[spec_label(spec)] = deliveries
+
+    # scheme-differential: identical delivery sets across the roster.
+    by_set: dict[tuple[int, ...], list[str]] = {}
+    for label in sorted(report.deliveries):
+        key = tuple(sorted(report.deliveries[label]))
+        by_set.setdefault(key, []).append(label)
+    if len(by_set) > 1:
+        parts = [
+            f"{labels} -> {list(key)}" for key, labels in sorted(by_set.items())
+        ]
+        report.violations.append(Violation(
+            "scheme-differential", "schemes",
+            "delivery sets diverge: " + "; ".join(parts)))
+
+    if scenario.compare_backends:
+        _check_backends(scenario, report)
+    return report

@@ -1,0 +1,170 @@
+"""The fuzz scenario: one self-contained differential test case.
+
+A :class:`FuzzScenario` bundles everything one oracle pass needs -- the
+exact topology (embedded, not regenerated, so corpus entries survive any
+future change to the topology generator), the simulation parameters, the
+multicast operation (source, destination set), the scheme roster to run and
+cross-compare, and whether the static-route cross-backend check applies.
+
+Scenarios are plain data: they round-trip through JSON (via
+:mod:`repro.topology.serialization`), hash stably (sha256 over canonical
+JSON, the same contract the experiment runner uses for cell seeds), and can
+be shrunk structurally by the minimizer without consulting the generator.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass, replace
+
+from repro.multicast import SCHEMES
+from repro.params import SimParams
+from repro.topology.graph import NetworkTopology
+from repro.topology.serialization import topology_from_dict, topology_to_dict
+
+FORMAT_VERSION = 1
+"""Corpus/scenario JSON format version."""
+
+SchemeSpec = tuple[str, tuple[tuple[str, object], ...]]
+"""(scheme registry name, sorted keyword tuple), e.g. ``("path", (("strategy", "greedy"),))``."""
+
+
+def scheme_spec(name: str, **kw: object) -> SchemeSpec:
+    """Build a normalised scheme spec (keywords sorted for stable hashing)."""
+    if name not in SCHEMES:
+        raise ValueError(f"unknown scheme {name!r}; choose from {sorted(SCHEMES)}")
+    return (name, tuple(sorted(kw.items())))
+
+
+def spec_label(spec: SchemeSpec) -> str:
+    """Human-readable scheme spec name, e.g. ``path(strategy=greedy)``."""
+    name, kw = spec
+    if not kw:
+        return name
+    args = ",".join(f"{k}={v}" for k, v in kw)
+    return f"{name}({args})"
+
+
+@dataclass(frozen=True)
+class FuzzScenario:
+    """One complete fuzz case: system + operation + checks to run."""
+
+    topo: NetworkTopology
+    params: SimParams
+    source: int
+    dests: tuple[int, ...]
+    schemes: tuple[SchemeSpec, ...]
+    compare_backends: bool = True
+    """Also run the merged static-route tree on both simulator backends and
+    require identical per-destination tail times (skipped automatically when
+    the deterministic unicast routes re-converge and no tree exists)."""
+
+    degraded_links: tuple[int, ...] = ()
+    """Link ids failed by :func:`repro.topology.faults.degrade` during
+    generation (provenance only; the embedded topology is already degraded)."""
+
+    label: str = ""
+    """Free-form provenance tag, e.g. ``seed=7/iter=13``."""
+
+    def __post_init__(self) -> None:
+        if not self.dests:
+            raise ValueError("scenario needs at least one destination")
+        if self.source in self.dests:
+            raise ValueError("source must not be a destination")
+        if len(set(self.dests)) != len(self.dests):
+            raise ValueError("duplicate destinations")
+        for n in (self.source, *self.dests):
+            if not 0 <= n < self.topo.num_nodes:
+                raise ValueError(f"node {n} outside the embedded topology")
+        if not self.schemes:
+            raise ValueError("scenario needs at least one scheme")
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-ready plain-data form (stable key order via json dumps)."""
+        return {
+            "format": FORMAT_VERSION,
+            "topology": topology_to_dict(self.topo),
+            "params": asdict(self.params),
+            "source": self.source,
+            "dests": list(self.dests),
+            "schemes": [
+                {"name": name, "kw": {k: v for k, v in kw}}
+                for name, kw in self.schemes
+            ],
+            "compare_backends": self.compare_backends,
+            "degraded_links": list(self.degraded_links),
+            "label": self.label,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FuzzScenario":
+        """Inverse of :meth:`to_dict`; validates the format version."""
+        if data.get("format") != FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported scenario format {data.get('format')!r}"
+            )
+        return cls(
+            topo=topology_from_dict(data["topology"]),
+            params=SimParams(**data["params"]),
+            source=int(data["source"]),
+            dests=tuple(int(d) for d in data["dests"]),
+            schemes=tuple(
+                scheme_spec(s["name"], **s.get("kw", {}))
+                for s in data["schemes"]
+            ),
+            compare_backends=bool(data.get("compare_backends", True)),
+            degraded_links=tuple(data.get("degraded_links", ())),
+            label=str(data.get("label", "")),
+        )
+
+    def digest(self) -> str:
+        """Stable content hash (sha256 over canonical JSON, sans label)."""
+        data = self.to_dict()
+        data.pop("label", None)
+        payload = json.dumps(data, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+    # ------------------------------------------------------------------
+    # Shrink-friendly derivation
+    # ------------------------------------------------------------------
+    def with_changes(self, **changes) -> "FuzzScenario":
+        """A copy with fields replaced (params stay synced to the topology)."""
+        out = replace(self, **changes)
+        if out.params.num_switches != out.topo.num_switches or \
+                out.params.num_nodes != out.topo.num_nodes:
+            out = replace(
+                out,
+                params=out.params.replace(
+                    num_switches=out.topo.num_switches,
+                    num_nodes=out.topo.num_nodes,
+                    ports_per_switch=out.topo.ports_per_switch,
+                ),
+            )
+        return out
+
+    def size_key(self) -> tuple[int, int, int, int, int]:
+        """Lexicographic 'cost' used by the minimizer to prefer smaller cases."""
+        return (
+            self.topo.num_switches,
+            len(self.dests),
+            self.topo.num_nodes,
+            len(self.topo.links),
+            self.params.message_flits,
+        )
+
+
+def derive_seed(base_seed: int, *key: object) -> int:
+    """Deterministic sub-seed from ``(base_seed, key...)``.
+
+    Same contract as the experiment runner's cell seeds: sha256 over
+    canonical JSON (never :func:`hash`, which is salted per process), so a
+    fuzz run is reproducible across platforms and invocations.
+    """
+    payload = json.dumps([base_seed, list(key)], sort_keys=True,
+                         separators=(",", ":"))
+    digest = hashlib.sha256(payload.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") % (1 << 62)

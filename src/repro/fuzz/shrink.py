@@ -1,0 +1,230 @@
+"""Delta-debugging minimizer: shrink a failing scenario to a reproducer.
+
+Given a scenario and a predicate (usually "some oracle that failed on the
+original still fails"), the minimizer greedily applies structural reductions
+and keeps any variant on which the predicate still holds:
+
+* **schemes** -- drop roster entries (a one-scheme reproducer beats four);
+* **destinations** -- ddmin-style: try removing halves, then singles;
+* **message length** -- ``message_packets`` to 1, ``packet_flits`` downward;
+* **hosts** -- delete nodes that are neither source nor destination
+  (renumbering the survivors densely);
+* **links** -- fail individual extra links, as long as the switch graph
+  stays connected (:func:`repro.topology.faults.remove_link` semantics);
+* **switches** -- delete host-free switches whose removal keeps the switch
+  graph connected, renumbering the survivors.
+
+Passes repeat until a full sweep makes no progress, so the result is
+1-minimal with respect to these moves.  Everything is deterministic: moves
+are tried in a fixed order and the first improvement wins.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.topology import faults
+from repro.topology.graph import NetworkTopology, PortRef, SwitchLink
+from repro.fuzz.oracles import run_oracles
+from repro.fuzz.scenario import FuzzScenario
+
+Predicate = Callable[[FuzzScenario], bool]
+"""True when the (shrunken) scenario still reproduces the failure."""
+
+
+def oracle_predicate(oracle_names: frozenset[str] | set[str]) -> Predicate:
+    """Predicate: some oracle from ``oracle_names`` still reports a violation.
+
+    Pinning the oracle set prevents the minimizer from drifting onto an
+    unrelated failure (e.g. shrinking the packet below the tree scheme's
+    header capacity while hunting a delivery bug).
+    """
+    names = frozenset(oracle_names)
+
+    def failing(sc: FuzzScenario) -> bool:
+        return any(v.oracle in names for v in run_oracles(sc).violations)
+
+    return failing
+
+
+# ----------------------------------------------------------------------
+# Topology surgery
+# ----------------------------------------------------------------------
+def drop_nodes(
+    topo: NetworkTopology, victims: set[int]
+) -> tuple[NetworkTopology, dict[int, int]]:
+    """Remove host nodes, renumbering survivors densely.
+
+    Returns the new topology and the old-id -> new-id map for survivors.
+    """
+    keep = [n for n in range(topo.num_nodes) if n not in victims]
+    remap = {old: new for new, old in enumerate(keep)}
+    return (
+        NetworkTopology(
+            num_switches=topo.num_switches,
+            ports_per_switch=topo.ports_per_switch,
+            node_attachment=[topo.node_attachment[n] for n in keep],
+            links=list(topo.links),
+        ),
+        remap,
+    )
+
+
+def drop_switch(topo: NetworkTopology, switch: int) -> NetworkTopology | None:
+    """Remove one host-free switch (and its links) if connectivity survives.
+
+    Returns ``None`` when the switch hosts nodes or its removal would
+    disconnect the remaining switch graph.
+    """
+    if any(p.switch == switch for p in topo.node_attachment):
+        return None
+    keep_links = [
+        lk for lk in topo.links
+        if lk.a.switch != switch and lk.b.switch != switch
+    ]
+    sw_map = {
+        old: new
+        for new, old in enumerate(
+            s for s in range(topo.num_switches) if s != switch
+        )
+    }
+
+    def remap_port(p: PortRef) -> PortRef:
+        return PortRef(sw_map[p.switch], p.port)
+
+    candidate = NetworkTopology(
+        num_switches=topo.num_switches - 1,
+        ports_per_switch=topo.ports_per_switch,
+        node_attachment=[remap_port(p) for p in topo.node_attachment],
+        links=[
+            SwitchLink(i, remap_port(lk.a), remap_port(lk.b))
+            for i, lk in enumerate(keep_links)
+        ],
+    )
+    return candidate if candidate.is_connected() else None
+
+
+# ----------------------------------------------------------------------
+# Shrink passes (each returns an improved scenario or None)
+# ----------------------------------------------------------------------
+def _shrink_schemes(sc: FuzzScenario, failing: Predicate) -> FuzzScenario | None:
+    if len(sc.schemes) <= 1:
+        return None
+    for i in range(len(sc.schemes)):
+        candidate = sc.with_changes(
+            schemes=sc.schemes[:i] + sc.schemes[i + 1:]
+        )
+        if failing(candidate):
+            return candidate
+    return None
+
+
+def _shrink_dests(sc: FuzzScenario, failing: Predicate) -> FuzzScenario | None:
+    if len(sc.dests) <= 1:
+        return None
+    half = len(sc.dests) // 2
+    chunks = [sc.dests[:half], sc.dests[half:]] if half else []
+    singles = [
+        sc.dests[:i] + sc.dests[i + 1:] for i in range(len(sc.dests))
+    ]
+    for kept in chunks + singles:
+        if not kept:
+            continue
+        candidate = sc.with_changes(dests=tuple(kept))
+        if failing(candidate):
+            return candidate
+    return None
+
+
+def _shrink_message(sc: FuzzScenario, failing: Predicate) -> FuzzScenario | None:
+    p = sc.params
+    trials = []
+    if p.message_packets > 1:
+        trials.append(p.replace(message_packets=1))
+    for flits in (2, 4, 8):
+        if flits < p.packet_flits:
+            trials.append(p.replace(packet_flits=flits))
+    for params in trials:
+        candidate = sc.with_changes(params=params)
+        if failing(candidate):
+            return candidate
+    return None
+
+
+def _shrink_hosts(sc: FuzzScenario, failing: Predicate) -> FuzzScenario | None:
+    used = {sc.source, *sc.dests}
+    spare = [n for n in range(sc.topo.num_nodes) if n not in used]
+    if not spare:
+        return None
+    # All at once first (usually succeeds), then one at a time.
+    for victims in [set(spare)] + [{n} for n in spare]:
+        topo, remap = drop_nodes(sc.topo, victims)
+        candidate = sc.with_changes(
+            topo=topo,
+            source=remap[sc.source],
+            dests=tuple(remap[d] for d in sc.dests),
+        )
+        if failing(candidate):
+            return candidate
+    return None
+
+
+def _shrink_links(sc: FuzzScenario, failing: Predicate) -> FuzzScenario | None:
+    for link_id in faults.removable_links(sc.topo):
+        candidate = sc.with_changes(
+            topo=faults.remove_link(sc.topo, link_id)
+        )
+        if failing(candidate):
+            return candidate
+    return None
+
+
+def _shrink_switches(sc: FuzzScenario, failing: Predicate) -> FuzzScenario | None:
+    if sc.topo.num_switches <= 1:
+        return None
+    for switch in range(sc.topo.num_switches):
+        topo = drop_switch(sc.topo, switch)
+        if topo is None:
+            continue
+        candidate = sc.with_changes(topo=topo)
+        if failing(candidate):
+            return candidate
+    return None
+
+
+_PASSES = (
+    _shrink_schemes,
+    _shrink_dests,
+    _shrink_hosts,
+    _shrink_links,
+    _shrink_switches,
+    _shrink_message,
+)
+
+
+def minimize(
+    scenario: FuzzScenario,
+    failing: Predicate,
+    max_rounds: int = 50,
+) -> FuzzScenario:
+    """Greedy fixpoint over all shrink passes.
+
+    ``failing`` must hold on ``scenario`` itself (raises ``ValueError``
+    otherwise -- minimizing a passing scenario is a caller bug).
+    """
+    if not failing(scenario):
+        raise ValueError("scenario does not fail; nothing to minimize")
+    current = scenario
+    for _ in range(max_rounds):
+        improved = False
+        for shrink_pass in _PASSES:
+            while True:
+                candidate = shrink_pass(current, failing)
+                if candidate is None:
+                    break
+                assert candidate.size_key() <= current.size_key()
+                current = candidate
+                improved = True
+        if not improved:
+            break
+    return current.with_changes(label=(scenario.label + "/minimized").lstrip("/"))

@@ -73,5 +73,7 @@ class Host:
             label=label,
             trace=self.net.trace,
         )
+        if self.net.worm_log is not None:
+            self.net.worm_log.append(worm)
         worm.start(self.net.fabric.inject[self.node], initial_state)
         return worm

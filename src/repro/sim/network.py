@@ -44,6 +44,10 @@ class SimNetwork:
         self.trace = None
         """Assign a :class:`~repro.sim.tracelog.TraceLog` to trace every
         worm launched through the hosts."""
+        self.worm_log = None
+        """Assign a list and every :class:`~repro.sim.worm.Worm` launched
+        through a host is appended to it (the fuzz oracles audit the hop
+        trees of completed worms post-run)."""
 
     # ------------------------------------------------------------------
     # Steering

@@ -234,6 +234,20 @@ class Worm:
         hop.expanded = True
         self._refinalize(hop)
 
+    def hop_records(self) -> list[tuple[int | None, Channel]]:
+        """The replication tree as ``(parent_index, channel)`` per hop.
+
+        Hops appear in creation order; ``parent_index`` indexes into this
+        same list (``None`` for the injection root).  This is the dynamic
+        ground truth the fuzz oracles audit: every root-to-leaf chain must
+        be a contiguous legal up*/down* route ending in a delivery channel.
+        """
+        index = {id(h): i for i, h in enumerate(self._hops)}
+        return [
+            (None if h.parent is None else index[id(h.parent)], h.channel)
+            for h in self._hops
+        ]
+
     def _delivered(self, node: int) -> None:
         self._pending_deliveries -= 1
         self._trace("deliver", f"node {node}")

@@ -1,0 +1,55 @@
+"""Tier-1 replay of the committed fuzz regression corpus.
+
+Every entry under ``tests/fuzz_corpus/`` is a minimized scenario the fuzzing
+harness considered worth pinning (see docs/fuzzing.md for how nightly
+failures get triaged into entries).  Replaying them through the full oracle
+suite on every PR turns each one into a permanent regression test: a
+reintroduced delivery/legality/conservation/differential bug fails here with
+a minimal reproducer already attached.
+"""
+
+import pathlib
+
+import pytest
+
+from repro.fuzz import load_corpus, load_entry, run_oracles
+from repro.fuzz.scenario import FuzzScenario
+
+CORPUS_DIR = pathlib.Path(__file__).parent / "fuzz_corpus"
+ENTRIES = load_corpus(CORPUS_DIR)
+
+
+def test_corpus_is_seeded():
+    assert len(ENTRIES) >= 6, "corpus must hold at least 6 scenarios"
+
+
+def test_corpus_includes_a_degraded_topology():
+    assert any(sc.degraded_links for _, sc in ENTRIES), (
+        "at least one corpus entry must come from a link-degraded topology"
+    )
+
+
+def test_corpus_entries_are_minimized_small():
+    for path, sc in ENTRIES:
+        assert sc.topo.num_switches <= 8, path.name
+        assert len(sc.dests) <= 4, path.name
+
+
+@pytest.mark.parametrize(
+    "path", [p for p, _ in ENTRIES], ids=[p.stem for p, _ in ENTRIES]
+)
+def test_corpus_entry_passes_every_oracle(path):
+    report = run_oracles(load_entry(path))
+    assert report.ok, report.render()
+
+
+@pytest.mark.parametrize(
+    "path", [p for p, _ in ENTRIES], ids=[p.stem for p, _ in ENTRIES]
+)
+def test_corpus_entry_roundtrips_and_matches_filename(path):
+    scenario = load_entry(path)
+    again = FuzzScenario.from_dict(scenario.to_dict())
+    assert again.digest() == scenario.digest()
+    assert scenario.digest()[:12] in path.name, (
+        "corpus file name must carry the scenario's content digest"
+    )

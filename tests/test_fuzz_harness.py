@@ -1,0 +1,203 @@
+"""The fuzzing harness's own acceptance gates.
+
+Three layers:
+
+* the clean tree produces zero violations over a seeded scenario stream
+  (and the CLI agrees, byte-for-byte across invocations);
+* deliberately planted bugs -- a dropped delivery deep in the worm model, a
+  flit-accounting leak -- are detected by the oracles and the minimizer
+  shrinks the reproducer into the acceptance bounds (<= 8 switches,
+  <= 4 destinations);
+* the structural shrink moves are individually sound (renumbering,
+  connectivity preservation, refusal to drop hosted switches).
+"""
+
+import pytest
+
+from repro.fuzz import (
+    generate_scenario,
+    minimize,
+    oracle_predicate,
+    run_oracles,
+    save_entry,
+)
+from repro.fuzz.cli import main as fuzz_main
+from repro.fuzz.scenario import FuzzScenario, derive_seed, scheme_spec
+from repro.fuzz.shrink import drop_nodes, drop_switch
+from repro.params import SimParams
+from repro.sim.worm import Worm
+from repro.topology.irregular import generate_irregular_topology
+
+CLEAN_ITERATIONS = 12
+"""Scenario budget for in-process clean runs (CI smoke runs many more)."""
+
+
+# ----------------------------------------------------------------------
+# Clean-tree behaviour
+# ----------------------------------------------------------------------
+def test_clean_stream_has_zero_violations():
+    for i in range(CLEAN_ITERATIONS):
+        report = run_oracles(generate_scenario(0, i))
+        assert report.ok, report.render()
+
+
+def test_generator_is_deterministic():
+    a = generate_scenario(5, 9)
+    b = generate_scenario(5, 9)
+    assert a.digest() == b.digest()
+    assert a.to_dict() == b.to_dict()
+    assert derive_seed(5, "fuzz-scenario", 9) == derive_seed(5, "fuzz-scenario", 9)
+    assert derive_seed(5, "x") != derive_seed(6, "x")
+
+
+def test_cli_run_clean_exits_zero(capsys):
+    rc = fuzz_main(["run", "--seed", "0", "--iterations", "8"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "8 scenario(s), 0 failing" in out
+
+
+def test_cli_replay_is_byte_deterministic(tmp_path, capsys):
+    save_entry(generate_scenario(3, 1), tmp_path, slug="case-a")
+    save_entry(generate_scenario(3, 2), tmp_path, slug="case-b")
+    rc1 = fuzz_main(["replay", "--dir", str(tmp_path)])
+    first = capsys.readouterr().out
+    rc2 = fuzz_main(["replay", "--dir", str(tmp_path)])
+    second = capsys.readouterr().out
+    assert rc1 == rc2 == 0
+    assert first == second
+    assert "replayed 2 scenario(s), 0 failing" in first
+
+
+# ----------------------------------------------------------------------
+# Planted bugs (mutations applied in-test, never committed)
+# ----------------------------------------------------------------------
+def _plant_dropped_delivery(monkeypatch):
+    """Worm model 'bug': deliveries to odd-numbered nodes vanish."""
+    orig = Worm._delivered
+
+    def broken(self, node):
+        if node % 2 == 1:
+            self._pending_deliveries -= 1
+            self._check_done()
+            return
+        orig(self, node)
+
+    monkeypatch.setattr(Worm, "_delivered", broken)
+
+
+def _find_failing(limit=40):
+    for i in range(limit):
+        scenario = generate_scenario(0, i)
+        report = run_oracles(scenario)
+        if not report.ok:
+            return scenario, report
+    raise AssertionError("planted bug never detected")
+
+
+def test_planted_delivery_bug_is_detected(monkeypatch):
+    _plant_dropped_delivery(monkeypatch)
+    _scenario, report = _find_failing()
+    oracles = {v.oracle for v in report.violations}
+    assert "delivery" in oracles
+
+
+def test_planted_bug_minimizes_within_acceptance_bounds(monkeypatch):
+    _plant_dropped_delivery(monkeypatch)
+    # Start from a deliberately large instance so the shrink is non-trivial.
+    scenario = None
+    for i in range(200):
+        candidate = generate_scenario(7, i)
+        if candidate.topo.num_switches >= 9 and len(candidate.dests) >= 5:
+            scenario = candidate
+            break
+    assert scenario is not None
+    report = run_oracles(scenario)
+    assert not report.ok
+    small = minimize(
+        scenario, oracle_predicate({v.oracle for v in report.violations})
+    )
+    assert small.topo.num_switches <= 8
+    assert len(small.dests) <= 4
+    assert not run_oracles(small).ok  # still reproduces
+
+
+def test_planted_conservation_leak_is_detected(monkeypatch):
+    orig = Worm._release
+
+    def leaky(self, hop):
+        # Miscount flits on forward channels: the conservation oracle must
+        # notice the fabric's books no longer match the audited worms.
+        orig(self, hop)
+        if hop.channel.kind == "forward":
+            hop.channel.flits_carried -= 1
+
+    monkeypatch.setattr(Worm, "_release", leaky)
+    _scenario, report = _find_failing()
+    assert "conservation" in {v.oracle for v in report.violations}
+
+
+def test_minimize_refuses_passing_scenario():
+    scenario = generate_scenario(0, 0)
+    with pytest.raises(ValueError):
+        minimize(scenario, oracle_predicate({"delivery"}))
+
+
+# ----------------------------------------------------------------------
+# Shrink-move soundness
+# ----------------------------------------------------------------------
+def _topo(seed=11, switches=6, nodes=10):
+    params = SimParams(num_switches=switches, num_nodes=nodes)
+    return generate_irregular_topology(params, seed=seed)
+
+
+def test_drop_nodes_renumbers_densely():
+    topo = _topo()
+    smaller, remap = drop_nodes(topo, {0, 3})
+    assert smaller.num_nodes == topo.num_nodes - 2
+    assert sorted(remap.values()) == list(range(smaller.num_nodes))
+    for old, new in remap.items():
+        assert smaller.node_attachment[new] == topo.node_attachment[old]
+
+
+def test_drop_switch_refuses_hosted_switch():
+    topo = _topo()
+    hosted = topo.node_attachment[0].switch
+    assert drop_switch(topo, hosted) is None
+
+
+def test_drop_switch_keeps_connectivity():
+    topo = _topo()
+    hosted = {p.switch for p in topo.node_attachment}
+    for s in range(topo.num_switches):
+        if s in hosted:
+            continue
+        smaller = drop_switch(topo, s)
+        if smaller is not None:
+            assert smaller.is_connected()
+            assert smaller.num_switches == topo.num_switches - 1
+
+
+def test_scenario_json_roundtrip(tmp_path):
+    scenario = generate_scenario(1, 4)
+    path = save_entry(scenario, tmp_path, slug="roundtrip")
+    from repro.fuzz import load_entry
+
+    again = load_entry(path)
+    assert again.digest() == scenario.digest()
+    assert again.dests == scenario.dests
+    assert again.schemes == scenario.schemes
+
+
+def test_scenario_validation():
+    topo = _topo()
+    params = SimParams(num_switches=topo.num_switches,
+                       num_nodes=topo.num_nodes)
+    with pytest.raises(ValueError):
+        FuzzScenario(topo=topo, params=params, source=1, dests=(1,),
+                     schemes=(scheme_spec("tree"),))
+    with pytest.raises(ValueError):
+        FuzzScenario(topo=topo, params=params, source=0, dests=(),
+                     schemes=(scheme_spec("tree"),))
+    with pytest.raises(ValueError):
+        scheme_spec("no-such-scheme")

@@ -1,0 +1,109 @@
+"""Observability invariants: TraceLog ring-buffer semantics and agreement
+between the utilization monitor's flit accounting and the event trace.
+
+These are the instruments the fuzz harness and the load experiments lean on;
+if the trace silently lost records or the monitor double-counted flits, both
+would report garbage without failing anywhere else.
+"""
+
+import pytest
+
+from repro.multicast import make_scheme
+from repro.params import SimParams
+from repro.sim.monitor import NetworkMonitor
+from repro.sim.network import SimNetwork
+from repro.sim.tracelog import TraceLog
+from repro.topology.irregular import generate_irregular_topology
+
+
+# ----------------------------------------------------------------------
+# TraceLog ring buffer
+# ----------------------------------------------------------------------
+def _fill(log, count, start=0):
+    for i in range(start, start + count):
+        log.emit(float(i), "grant", f"w{i}", f"detail-{i}")
+
+
+def test_tracelog_at_exact_capacity_drops_nothing():
+    log = TraceLog(capacity=16)
+    _fill(log, 16)
+    assert len(log) == 16
+    assert log.dropped == 0
+    assert [r.detail for r in log.records()] == [f"detail-{i}" for i in range(16)]
+
+
+def test_tracelog_past_capacity_keeps_exactly_the_tail():
+    log = TraceLog(capacity=16)
+    _fill(log, 16)
+    log.emit(16.0, "grant", "w16", "detail-16")
+    assert len(log) == 16
+    assert log.dropped == 1
+    assert [r.detail for r in log.records()] == [
+        f"detail-{i}" for i in range(1, 17)
+    ]
+
+
+def test_tracelog_eviction_count_matches_overflow():
+    log = TraceLog(capacity=8)
+    _fill(log, 30)
+    assert len(log) == 8
+    assert log.dropped == 30 - 8
+    assert [r.time for r in log.records()] == [float(i) for i in range(22, 30)]
+
+
+def test_tracelog_filters_and_clear():
+    log = TraceLog(capacity=100)
+    log.emit(0.0, "grant", "worm-a", "x")
+    log.emit(1.0, "deliver", "worm-a", "node 3")
+    log.emit(2.0, "deliver", "worm-b", "node 4")
+    assert len(log.records(event="deliver")) == 2
+    assert len(log.records(event="deliver", worm_contains="worm-b")) == 1
+    assert "3 records" in log.format()
+    log.clear()
+    assert len(log) == 0
+
+
+def test_tracelog_rejects_nonpositive_capacity():
+    with pytest.raises(ValueError):
+        TraceLog(capacity=0)
+
+
+# ----------------------------------------------------------------------
+# Monitor vs trace agreement on a deterministic two-worm scenario
+# ----------------------------------------------------------------------
+def test_monitor_flit_accounting_agrees_with_trace():
+    params = SimParams(num_switches=4, num_nodes=8)
+    topo = generate_irregular_topology(params, seed=3)
+    net = SimNetwork(topo, params)
+    net.trace = TraceLog()
+    mon = NetworkMonitor(net)
+
+    scheme = make_scheme("tree")
+    res_a = scheme.execute(net, 0, [2, 5, 7])
+    res_b = scheme.execute(net, 1, [3, 6])
+    net.run()
+    assert res_a.complete and res_b.complete
+
+    report = mon.report()
+    grants = net.trace.records(event="grant")
+    deliveries = net.trace.records(event="deliver")
+    releases = net.trace.records(event="release")
+
+    # Every hop is granted exactly once and released exactly once, and each
+    # release books the worm's full length onto the channel -- so the
+    # monitor's flit total must equal packet_flits per traced grant.
+    assert len(releases) == len(grants)
+    assert report.total_flits_moved == params.packet_flits * len(grants)
+
+    # Delivery events line up one-to-one with the schemes' delivery maps.
+    assert len(deliveries) == len(res_a.delivery_times) + len(res_b.delivery_times)
+    delivered_nodes = sorted(
+        int(r.detail.removeprefix("node ")) for r in deliveries
+    )
+    assert delivered_nodes == sorted(
+        list(res_a.delivery_times) + list(res_b.delivery_times)
+    )
+
+    # The measurement window covers the whole run and saw real traffic.
+    assert report.window == pytest.approx(net.engine.now)
+    assert report.max_link_utilization > 0

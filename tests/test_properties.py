@@ -17,6 +17,7 @@ from repro.routing.reachability import decode_mask, header_mask
 from repro.routing.updown import Phase, UpDownRouting
 from repro.sim.engine import Engine
 from repro.sim.network import SimNetwork
+from repro.topology import faults
 from repro.topology.irregular import generate_irregular_topology
 
 # ----------------------------------------------------------------------
@@ -28,10 +29,32 @@ dims = st.tuples(
     st.integers(min_value=0, max_value=10_000),  # seed
 ).filter(lambda t: t[1] <= t[0] * 7 - 2 * (t[0] - 1))
 
+# (dims, link failures to attempt) -- the degraded-system strategy: every
+# invariant that holds on freshly generated topologies must survive
+# reconfiguration around failed links (the paper's fault-resilience claim).
+degraded_dims = st.tuples(dims, st.integers(min_value=0, max_value=3))
+
 
 def build_topo(switches, nodes, seed):
     params = SimParams(num_switches=switches, num_nodes=nodes)
     return generate_irregular_topology(params, seed=seed), params
+
+
+def build_degraded_topo(d, n_failures):
+    """Topology with up to ``n_failures`` random links failed.
+
+    Falls back to fewer failures when the draw cannot absorb them while
+    staying connected (pure-tree topologies have no removable link at all).
+    """
+    topo, params = build_topo(*d)
+    rng = random.Random(d[2])
+    for attempt_failures in range(n_failures, 0, -1):
+        try:
+            degraded, failed = faults.degrade(topo, attempt_failures, rng=rng)
+        except ValueError:
+            continue
+        return degraded, params, failed
+    return topo, params, []
 
 
 # ----------------------------------------------------------------------
@@ -171,12 +194,38 @@ def test_path_worm_plan_partitions_destinations(d, data):
 
 
 # ----------------------------------------------------------------------
+# Fault-model invariants
+# ----------------------------------------------------------------------
+@settings(max_examples=25, deadline=None)
+@given(dims)
+def test_removable_link_removal_never_disconnects(d):
+    topo, _ = build_topo(*d)
+    # Chain removals to exhaustion: at every step, removing any link that
+    # removable_links() nominated must leave the fabric connected.
+    current = topo
+    removed = 0
+    while True:
+        candidates = faults.removable_links(current)
+        if not candidates:
+            break
+        current = faults.remove_link(current, min(candidates))
+        removed += 1
+        assert current.is_connected()
+        assert len(current.links) == len(topo.links) - removed
+    # Fixpoint reached: the survivor is a spanning tree over the switches.
+    assert len(current.links) == current.num_switches - 1
+
+
+# ----------------------------------------------------------------------
 # End-to-end: every scheme delivers exactly once, regardless of topology
+# -- including topologies reconfigured around failed links
 # ----------------------------------------------------------------------
 @settings(max_examples=10, deadline=None)
-@given(dims, st.sampled_from(["binomial", "ni", "tree", "path"]), st.data())
-def test_schemes_deliver_exactly_once_on_random_systems(d, scheme_name, data):
-    topo, params = build_topo(*d)
+@given(degraded_dims, st.sampled_from(["binomial", "ni", "tree", "path"]),
+       st.data())
+def test_schemes_deliver_exactly_once_on_random_systems(dd, scheme_name, data):
+    d, n_failures = dd
+    topo, params, _failed = build_degraded_topo(d, n_failures)
     net = SimNetwork(topo, params)
     n = topo.num_nodes
     source = data.draw(st.integers(min_value=0, max_value=n - 1))
