@@ -1,0 +1,30 @@
+"""Runtime fault injection, reconfiguration, and retriable delivery.
+
+The paper motivates irregular NOW topologies as "resistant to faults" and
+amenable to Autonet-style reconfiguration; this package makes the claim
+testable.  A seeded :class:`FaultSchedule` of :class:`FaultEvent`\\ s is
+armed on a live :class:`~repro.sim.network.SimNetwork` via
+:class:`FaultInjector`: at fire time the link's channels are revoked,
+in-flight worms holding or requesting them abort (nack to the source host),
+and the network reconfigures -- new BFS/up*/down* orientation, new
+reachability strings, all cached multicast plans invalidated.  On top,
+:class:`ReliableMulticast` retries nacked sends with backoff on the
+reconfigured topology, resending only to unacked destinations, with an
+exactly-once guarantee.
+
+Determinism contract: same seed + same schedule => byte-identical traces
+(pinned by the golden test in ``tests/test_chaos.py``).  See
+``docs/chaos.md`` for the fault model and retry semantics.
+"""
+
+from repro.chaos.delivery import ReliableMulticast, ReliableResult
+from repro.chaos.injector import FaultInjector
+from repro.chaos.schedule import FaultEvent, FaultSchedule
+
+__all__ = [
+    "FaultEvent",
+    "FaultSchedule",
+    "FaultInjector",
+    "ReliableMulticast",
+    "ReliableResult",
+]

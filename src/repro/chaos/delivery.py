@@ -1,0 +1,204 @@
+"""Retriable multicast delivery with an exactly-once guarantee.
+
+:class:`ReliableMulticast` wraps any
+:class:`~repro.multicast.base.MulticastScheme` with a timeout/retry/backoff
+layer driven by fault notifications:
+
+* **Acks.** Each attempt's per-destination host deliveries feed an ack set
+  through the result's ``dest_hook``.  The first ack per destination wins;
+  stragglers from superseded attempts (a copy already in a receive pipeline
+  when its worm aborted) are counted and traced as duplicates, never
+  re-delivered to the caller -- the exactly-once guarantee.
+* **Retries.** A fault notification (fired by
+  :class:`~repro.chaos.injector.FaultInjector` after reconfiguration)
+  schedules a retry for every incomplete send after an exponential backoff.
+  The retry *replans* on the reconfigured topology -- the scheme recomputes
+  its tree/route/phases on the new routing epoch -- and resends only to
+  destinations not yet acked.  Sends give up (counted, traced) after
+  ``max_attempts``.
+* **Determinism.** On a fault-free run this layer adds zero engine events
+  and zero trace records, so wrapped runs are byte-identical to bare ones;
+  with faults, every retry decision is a deterministic function of the
+  schedule, preserving seed-replay byte-identity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.multicast.base import MulticastScheme
+from repro.sim.network import SimNetwork
+
+
+@dataclass
+class ReliableResult:
+    """Outcome of one reliable multicast (possibly spanning retries).
+
+    ``acked[d]`` is the time destination ``d``'s host *first* received the
+    complete message; later duplicates are dropped.
+    """
+
+    source: int
+    dests: tuple[int, ...]
+    start_time: float
+    label: str
+    acked: dict[int, float] = field(default_factory=dict)
+    attempts: int = 1
+    complete_time: float | None = None
+    gave_up: bool = False
+    retry_pending: bool = False
+
+    @property
+    def complete(self) -> bool:
+        """Every destination acked exactly once."""
+        return self.complete_time is not None
+
+    @property
+    def latency(self) -> float:
+        """Last first-ack minus send start (raises while incomplete)."""
+        if self.complete_time is None:
+            raise RuntimeError("reliable multicast not complete")
+        return self.complete_time - self.start_time
+
+    def unacked(self) -> tuple[int, ...]:
+        """Destinations still owed the message, in original order."""
+        return tuple(d for d in self.dests if d not in self.acked)
+
+
+class ReliableMulticast:
+    """Timeout/retry/backoff delivery on top of a multicast scheme.
+
+    Args:
+        net: the network; the layer registers itself on
+            ``net.fault_listeners`` at construction.
+        scheme: the underlying scheme; retries replan through its normal
+            ``execute`` path, so the plan cache's routing-epoch key gives
+            post-reconfiguration plans automatically.
+        backoff: cycles from a fault notification to the first retry.
+        backoff_factor: multiplier per subsequent attempt (exponential).
+        max_attempts: total attempts (first send included) before a send
+            gives up.
+    """
+
+    def __init__(
+        self,
+        net: SimNetwork,
+        scheme: MulticastScheme,
+        backoff: float = 200.0,
+        backoff_factor: float = 2.0,
+        max_attempts: int = 5,
+    ) -> None:
+        if backoff < 0:
+            raise ValueError("backoff must be non-negative")
+        if backoff_factor < 1:
+            raise ValueError("backoff_factor must be >= 1")
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        self.net = net
+        self.scheme = scheme
+        self.backoff = backoff
+        self.backoff_factor = backoff_factor
+        self.max_attempts = max_attempts
+        self._ops: list[tuple[ReliableResult, Callable | None]] = []
+        net.fault_listeners.append(self._on_fault)
+
+    # ------------------------------------------------------------------
+    # Sending
+    # ------------------------------------------------------------------
+    def send(
+        self,
+        source: int,
+        dests: list[int],
+        on_complete: Callable[[ReliableResult], None] | None = None,
+    ) -> ReliableResult:
+        """Begin one reliable multicast at the engine's current time."""
+        label = f"rel:{self.scheme.name}:{source}#{len(self._ops)}"
+        op = ReliableResult(
+            source=source,
+            dests=tuple(dict.fromkeys(dests)),
+            start_time=self.net.engine.now,
+            label=label,
+        )
+        self._ops.append((op, on_complete))
+        self._attempt(op, op.dests, on_complete)
+        return op
+
+    def _attempt(
+        self,
+        op: ReliableResult,
+        targets: tuple[int, ...],
+        on_complete: Callable | None,
+    ) -> None:
+        result = self.scheme.execute(self.net, op.source, list(targets))
+        result.dest_hook = lambda dest, time: self._ack(
+            op, dest, time, on_complete
+        )
+
+    def _ack(
+        self,
+        op: ReliableResult,
+        dest: int,
+        time: float,
+        on_complete: Callable | None,
+    ) -> None:
+        if dest in op.acked:
+            # A straggler from a superseded attempt: dedup (exactly-once).
+            self.net.chaos.duplicate_acks += 1
+            self._trace(op, "dup-ack", f"node {dest}")
+            return
+        op.acked[dest] = time
+        if len(op.acked) == len(op.dests) and op.complete_time is None:
+            op.complete_time = time
+            if on_complete is not None:
+                on_complete(op)
+
+    # ------------------------------------------------------------------
+    # Fault-driven retry
+    # ------------------------------------------------------------------
+    def _trace(self, op: ReliableResult, event: str, detail: str) -> None:
+        if self.net.trace is not None:
+            self.net.trace.emit(self.net.engine.now, event, op.label, detail)
+
+    def _on_fault(self, _event: object) -> None:
+        # Conservative policy: any incomplete send may have lost worms (or
+        # may lose its next ones to the degraded fabric), so each schedules
+        # one retry.  Completed ops and ops already awaiting a retry don't.
+        for op, on_complete in self._ops:
+            if op.complete or op.gave_up or op.retry_pending:
+                continue
+            delay = self.backoff * (
+                self.backoff_factor ** (op.attempts - 1)
+            )
+            op.retry_pending = True
+            self._trace(
+                op, "retry",
+                f"attempt {op.attempts + 1} in {delay:.1f} cycles",
+            )
+            self.net.engine.at(
+                self.net.engine.now + delay,
+                lambda op=op, cb=on_complete: self._retry(op, cb),
+            )
+
+    def _retry(self, op: ReliableResult, on_complete: Callable | None) -> None:
+        op.retry_pending = False
+        if op.complete or op.gave_up:
+            return  # the earlier attempt drained after all
+        if op.attempts >= self.max_attempts:
+            op.gave_up = True
+            self.net.chaos.gave_up += 1
+            self._trace(
+                op, "giveup",
+                f"after {op.attempts} attempts, "
+                f"{len(op.unacked())} destination(s) unacked",
+            )
+            return
+        op.attempts += 1
+        self.net.chaos.retries += 1
+        pending = op.unacked()
+        self._trace(
+            op, "replan",
+            f"epoch {self.net.routing_epoch}, "
+            f"resend to {len(pending)} destination(s)",
+        )
+        self._attempt(op, pending, on_complete)

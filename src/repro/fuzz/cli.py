@@ -59,7 +59,8 @@ def cmd_run(args: argparse.Namespace) -> int:
         if deadline is not None and time.perf_counter() >= deadline:
             _out(f"budget exhausted after {executed} iteration(s)")
             break
-        scenario = generate_scenario(args.seed, index)
+        scenario = generate_scenario(args.seed, index,
+                                     fault_rate=args.fault_rate)
         report = run_oracles(scenario)
         executed += 1
         skipped += len(report.skipped)
@@ -166,12 +167,14 @@ def cmd_corpus(args: argparse.Namespace) -> int:
     for path, sc in entries:
         degraded = f" degraded={list(sc.degraded_links)}" if \
             sc.degraded_links else ""
+        chaos = f" faults={[lk for _t, lk in sc.fault_schedule]}" if \
+            sc.fault_schedule else ""
         _out(
             f"{path.name}: switches={sc.topo.num_switches} "
             f"nodes={sc.topo.num_nodes} links={len(sc.topo.links)} "
             f"dests={len(sc.dests)} "
             f"schemes=[{', '.join(spec_label(s) for s in sc.schemes)}]"
-            f"{degraded}"
+            f"{degraded}{chaos}"
         )
     _out(f"{len(entries)} corpus entr{'y' if len(entries) == 1 else 'ies'}")
     return 0
@@ -197,6 +200,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--save-failures", type=pathlib.Path, default=None,
                        metavar="DIR",
                        help="minimize failures and save reproducers here")
+    p_run.add_argument("--fault-rate", type=float, default=0.3,
+                       help="probability a scenario carries a mid-run "
+                            "fault schedule (0 disables chaos mode)")
     p_run.add_argument("--no-minimize", action="store_true",
                        help="save raw failures without shrinking")
     p_run.add_argument("--verbose", action="store_true",

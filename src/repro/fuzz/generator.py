@@ -99,8 +99,34 @@ def _draw_topology(
     )
 
 
-def generate_scenario(base_seed: int, index: int) -> FuzzScenario:
-    """Scenario ``index`` of the run seeded by ``base_seed`` (pure function)."""
+def _draw_fault_schedule(
+    rng: random.Random, topo: NetworkTopology
+) -> tuple[tuple[float, int], ...]:
+    """A short runtime fault schedule for chaos scenarios.
+
+    Links are sequentially removable (so reconfiguration can absorb every
+    fault) and fire times are small -- early enough to race the multicast
+    in flight, which is the interesting regime.
+    """
+    try:
+        pairs = faults.schedule_faults(
+            topo, rng.randint(1, 2), rng=rng, window=(1.0, 80.0)
+        )
+    except ValueError:
+        return ()  # pure tree: no removable links; stay fault-free
+    return tuple(pairs)
+
+
+def generate_scenario(
+    base_seed: int, index: int, fault_rate: float = 0.3
+) -> FuzzScenario:
+    """Scenario ``index`` of the run seeded by ``base_seed`` (pure function).
+
+    ``fault_rate`` is the probability that the scenario carries a runtime
+    fault schedule (chaos mode); pass 0.0 to generate only fault-free
+    scenarios.  The chance draw happens either way, so the rest of the
+    scenario is identical across rates for the same ``(seed, index)``.
+    """
     rng = random.Random(derive_seed(base_seed, "fuzz-scenario", index))
     params = _draw_params(rng)
     topo, failed = _draw_topology(rng, params)
@@ -126,6 +152,9 @@ def generate_scenario(base_seed: int, index: int) -> FuzzScenario:
         header_flits = math.ceil((n + node_id_bits) / 8)
         if header_flits >= params.packet_flits:
             params = params.replace(packet_flits=header_flits + rng.choice([1, 4]))
+    fault_schedule: tuple[tuple[float, int], ...] = ()
+    if rng.random() < fault_rate:
+        fault_schedule = _draw_fault_schedule(rng, topo)
     return FuzzScenario(
         topo=topo,
         params=params,
@@ -134,5 +163,6 @@ def generate_scenario(base_seed: int, index: int) -> FuzzScenario:
         schemes=schemes,
         compare_backends=True,
         degraded_links=failed,
+        fault_schedule=fault_schedule,
         label=f"seed={base_seed}/iter={index}",
     )

@@ -32,7 +32,21 @@ every fuzz scenario:
 * **backend-differential** -- the merged static-route tree produces
   identical per-destination tail times on the worm-level event backend and
   the flit-level reference backend (skipped when deterministic unicast
-  routes re-converge and no merged tree exists).
+  routes re-converge and no merged tree exists, and for chaos scenarios --
+  the flit-level reference has no fault support);
+* **chaos** -- for scenarios with a runtime fault schedule
+  (:mod:`repro.chaos`): every armed fault is accounted for (fired or
+  skipped), no send gives up (exactly-once-after-retry), and a second run
+  of the same seed + schedule produces a byte-identical trace digest.
+
+Chaos scenarios change the dynamic checks, not the bar: each scheme is
+wrapped in :class:`~repro.chaos.ReliableMulticast`, deliveries are the
+first-ack-wins ack set, aborted worms are audited to a relaxed standard
+(their partial routes must still be continuous, legal prefixes; their
+released channels must carry no traffic), and hop legality is judged
+against the routing *epoch* each worm launched under -- pre-fault worms
+against the original orientation, post-retry worms against the
+reconfigured one.
 """
 
 from __future__ import annotations
@@ -40,6 +54,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 
+from repro.chaos import FaultInjector, FaultSchedule, ReliableMulticast
 from repro.multicast import make_scheme
 from repro.multicast.pathworm import plan_path_worms, verify_plan
 from repro.routing.paths import updown_decomposition
@@ -75,6 +90,7 @@ ORACLES = (
     "monotone-time",
     "scheme-differential",
     "backend-differential",
+    "chaos",
 )
 """Every oracle name, in report order."""
 
@@ -120,6 +136,8 @@ class ScenarioReport:
         )
         if sc.degraded_links:
             head += f" degraded={list(sc.degraded_links)}"
+        if sc.fault_schedule:
+            head += f" faults={[lk for _t, lk in sc.fault_schedule]}"
         if sc.label:
             head += f" ({sc.label})"
         lines = [head]
@@ -144,12 +162,18 @@ def _audit_worm_hops(
 
     Returns ``{channel uid: (flits, worms)}`` accumulated over the audited
     worms, which the conservation oracle compares against the fabric's own
-    counters.
+    counters.  Each worm is judged against the routing tables of the epoch
+    it launched under (a runtime reconfiguration must not retroactively
+    outlaw in-flight routes).  Aborted worms get the relaxed standard:
+    their partial chains must still be continuous legal prefixes, but need
+    not end in a delivery channel, and only hops that committed traffic
+    (``hop_counted``) count toward conservation.
     """
-    rt = net.routing
     expected: dict[int, tuple[int, int]] = {}
     for w_index, worm in enumerate(net.worm_log or ()):
+        rt = net.routing_history[worm.epoch]
         hops = worm.hop_records()
+        counted = worm.hop_counted()
         tag = f"worm {w_index} ({worm.label or 'unlabelled'})"
         if not hops:
             out.append(Violation(
@@ -158,8 +182,9 @@ def _audit_worm_hops(
         children: dict[int, list[int]] = {i: [] for i in range(len(hops))}
         root_idx = None
         for i, (parent, ch) in enumerate(hops):
-            flits, worms = expected.get(ch.uid, (0, 0))
-            expected[ch.uid] = (flits + worm.length, worms + 1)
+            if counted[i]:
+                flits, worms = expected.get(ch.uid, (0, 0))
+                expected[ch.uid] = (flits + worm.length, worms + 1)
             if parent is None:
                 if ch.kind != "inject":
                     out.append(Violation(
@@ -179,14 +204,17 @@ def _audit_worm_hops(
                 "hop-legality", label, f"{tag} has no injection root"))
             continue
         # Every leaf must deliver; every root-to-leaf chain must be up*/down*.
+        # Aborted worms are cut short, so their leaves may be non-delivery
+        # hops -- the chain must still be a legal up*/down* prefix.
         for i, (parent, ch) in enumerate(hops):
             if children[i]:
                 continue
             if ch.kind != "deliver":
-                out.append(Violation(
-                    "hop-legality", label,
-                    f"{tag} leaves the worm stranded on {ch.name}"))
-                continue
+                if not worm.aborted:
+                    out.append(Violation(
+                        "hop-legality", label,
+                        f"{tag} leaves the worm stranded on {ch.name}"))
+                    continue
             chain = []
             j: int | None = i
             while j is not None:
@@ -195,12 +223,16 @@ def _audit_worm_hops(
             chain.reverse()
             links = [c.link for c in chain if c.kind == "forward"]
             start = chain[0].to_switch
+            where = (
+                f"to node {ch.to_node}" if ch.kind == "deliver"
+                else f"ending on {ch.name} (aborted)"
+            )
             try:
                 updown_decomposition(rt, start, links)
             except ValueError as exc:
                 out.append(Violation(
                     "hop-legality", label,
-                    f"{tag} illegal route to node {ch.to_node}: {exc}"))
+                    f"{tag} illegal route {where}: {exc}"))
     return expected
 
 
@@ -220,6 +252,32 @@ def _check_conservation(
                 f"{flits} flits / {worms} worms"))
 
 
+def _execute_scheme(scenario: FuzzScenario, spec: SchemeSpec):
+    """One fresh network + one run of the scheme (chaos-wrapped if needed).
+
+    Returns ``(net, deliveries, start_time, complete)`` where deliveries is
+    destination -> first host delivery time: the result record's map on a
+    fault-free run, the reliable layer's first-ack-wins set under a fault
+    schedule.
+    """
+    net = SimNetwork(scenario.topo, scenario.params)
+    net.trace = TraceLog(capacity=1_000_000)
+    net.worm_log = []
+    scheme = make_scheme(spec[0], **dict(spec[1]))
+    if scenario.fault_schedule:
+        injector = FaultInjector(
+            net, FaultSchedule.from_pairs(list(scenario.fault_schedule))
+        )
+        injector.arm()
+        reliable = ReliableMulticast(net, scheme)
+        op = reliable.send(scenario.source, list(scenario.dests))
+        net.engine.run(max_events=MAX_EVENTS)
+        return net, dict(op.acked), op.start_time, op.complete
+    result = scheme.execute(net, scenario.source, list(scenario.dests))
+    net.engine.run(max_events=MAX_EVENTS)
+    return net, dict(result.delivery_times), result.start_time, result.complete
+
+
 def run_scheme(
     scenario: FuzzScenario, spec: SchemeSpec
 ) -> tuple[dict[int, float] | None, list[Violation]]:
@@ -230,14 +288,9 @@ def run_scheme(
     """
     label = spec_label(spec)
     out: list[Violation] = []
-    net = SimNetwork(scenario.topo, scenario.params)
-    net.trace = TraceLog(capacity=1_000_000)
-    net.worm_log = []
-    scheme = make_scheme(spec[0], **dict(spec[1]))
-    result = None
     try:
-        result = scheme.execute(net, scenario.source, list(scenario.dests))
-        net.engine.run(max_events=MAX_EVENTS)
+        net, deliveries, start_time, complete = _execute_scheme(
+            scenario, spec)
     except (RuntimeError, ValueError, AssertionError, KeyError,
             TypeError) as exc:
         out.append(Violation(
@@ -246,24 +299,24 @@ def run_scheme(
 
     # delivery: exactly once, never early, all destinations.
     dset = set(scenario.dests)
-    got = set(result.delivery_times)
+    got = set(deliveries)
     if missing := sorted(dset - got):
         out.append(Violation(
             "delivery", label, f"destinations never delivered: {missing}"))
     if extra := sorted(got - dset):
         out.append(Violation(
             "delivery", label, f"non-destinations delivered: {extra}"))
-    if not result.complete and not (dset - got):
+    if not complete and not (dset - got):
         out.append(Violation(
             "delivery", label, "all destinations delivered but the result "
             "record never completed"))
     for d in sorted(got & dset):
-        when = result.delivery_times[d]
-        if not math.isfinite(when) or when < result.start_time:
+        when = deliveries[d]
+        if not math.isfinite(when) or when < start_time:
             out.append(Violation(
                 "delivery", label,
                 f"destination {d} delivered at {when!r}, before start "
-                f"{result.start_time!r}"))
+                f"{start_time!r}"))
 
     # quiescence: nothing may still hold a channel or processor.
     try:
@@ -280,7 +333,7 @@ def run_scheme(
                 f"trace went backwards: {earlier.event}@{earlier.time} then "
                 f"{later.event}@{later.time}"))
             break
-    last_delivery = max(result.delivery_times.values(), default=0.0)
+    last_delivery = max(deliveries.values(), default=0.0)
     if net.engine.now < last_delivery:
         out.append(Violation(
             "monotone-time", label,
@@ -291,18 +344,22 @@ def run_scheme(
     expected = _audit_worm_hops(net, label, out)
     _check_conservation(net, expected, label, out)
 
-    # plan-static: re-derive and verify the scheme's static plan.
+    # plan-static: re-derive and verify the scheme's static plan (against
+    # the network's *final* topology and routing, which under a fault
+    # schedule is the post-reconfiguration state -- exactly what a retry
+    # would plan on).
     if spec[0] == "path":
         strategy = dict(spec[1]).get("strategy", "lg")
         plan = plan_path_worms(
             net, scenario.source, list(scenario.dests), strategy=strategy
         )
         for problem in verify_plan(
-            scenario.topo, net.routing, scenario.source,
+            net.topo, net.routing, scenario.source,
             list(scenario.dests), plan,
         ):
             out.append(Violation("plan-static", label, problem))
     elif spec[0] == "tree" and not dict(spec[1]).get("max_header_dests"):
+        scheme = make_scheme(spec[0], **dict(spec[1]))
         plan = scheme.plan(net, scenario.source, list(scenario.dests))
         if not net.reach.covers(plan.turn_switch, dset):
             out.append(Violation(
@@ -310,7 +367,36 @@ def run_scheme(
                 f"turn switch {plan.turn_switch} does not down-cover "
                 f"{sorted(dset)}"))
 
-    return dict(result.delivery_times), out
+    # chaos: fault accounting, no give-ups, and seed-replay byte-identity.
+    if scenario.fault_schedule:
+        armed = len(scenario.fault_schedule)
+        accounted = net.chaos.faults_fired + net.chaos.faults_skipped
+        if accounted != armed:
+            out.append(Violation(
+                "chaos", label,
+                f"{armed} fault(s) armed but {accounted} accounted for "
+                f"({net.chaos.faults_fired} fired, "
+                f"{net.chaos.faults_skipped} skipped)"))
+        if net.chaos.gave_up:
+            out.append(Violation(
+                "chaos", label,
+                f"{net.chaos.gave_up} send(s) gave up before delivering "
+                "to every destination"))
+        try:
+            net2, _, _, _ = _execute_scheme(scenario, spec)
+        except (RuntimeError, ValueError, AssertionError, KeyError,
+                TypeError) as exc:
+            out.append(Violation(
+                "chaos", label,
+                f"replay crashed: {type(exc).__name__}: {exc}"))
+        else:
+            if net2.trace.digest() != net.trace.digest():
+                out.append(Violation(
+                    "chaos", label,
+                    "replay of the same seed + schedule produced a "
+                    "different trace digest"))
+
+    return deliveries, out
 
 
 # ----------------------------------------------------------------------
@@ -406,5 +492,10 @@ def run_oracles(scenario: FuzzScenario) -> ScenarioReport:
             "delivery sets diverge: " + "; ".join(parts)))
 
     if scenario.compare_backends:
-        _check_backends(scenario, report)
+        if scenario.fault_schedule:
+            report.skipped.append(
+                "backend-differential (fault schedule armed; the "
+                "flit-level reference backend has no fault support)")
+        else:
+            _check_backends(scenario, report)
     return report

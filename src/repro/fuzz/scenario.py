@@ -64,6 +64,13 @@ class FuzzScenario:
     """Link ids failed by :func:`repro.topology.faults.degrade` during
     generation (provenance only; the embedded topology is already degraded)."""
 
+    fault_schedule: tuple[tuple[float, int], ...] = ()
+    """Runtime ``(fire_time, link_id)`` faults armed mid-run (chaos mode):
+    each scheme is wrapped in :class:`repro.chaos.ReliableMulticast`, the
+    oracles assert exactly-once-after-retry delivery and per-epoch up*/down*
+    legality, and the backend differential is skipped (the flit-level
+    reference has no fault support).  Empty means today's fault-free run."""
+
     label: str = ""
     """Free-form provenance tag, e.g. ``seed=7/iter=13``."""
 
@@ -79,13 +86,21 @@ class FuzzScenario:
                 raise ValueError(f"node {n} outside the embedded topology")
         if not self.schemes:
             raise ValueError("scenario needs at least one scheme")
+        for t, _link in self.fault_schedule:
+            if t < 0:
+                raise ValueError("fault times must be non-negative")
 
     # ------------------------------------------------------------------
     # Serialization
     # ------------------------------------------------------------------
     def to_dict(self) -> dict:
-        """JSON-ready plain-data form (stable key order via json dumps)."""
-        return {
+        """JSON-ready plain-data form (stable key order via json dumps).
+
+        ``fault_schedule`` is omitted when empty so fault-free scenarios
+        keep the digests (and corpus file names) they had before chaos
+        mode existed.
+        """
+        out = {
             "format": FORMAT_VERSION,
             "topology": topology_to_dict(self.topo),
             "params": asdict(self.params),
@@ -99,6 +114,9 @@ class FuzzScenario:
             "degraded_links": list(self.degraded_links),
             "label": self.label,
         }
+        if self.fault_schedule:
+            out["fault_schedule"] = [[t, lk] for t, lk in self.fault_schedule]
+        return out
 
     @classmethod
     def from_dict(cls, data: dict) -> "FuzzScenario":
@@ -118,6 +136,10 @@ class FuzzScenario:
             ),
             compare_backends=bool(data.get("compare_backends", True)),
             degraded_links=tuple(data.get("degraded_links", ())),
+            fault_schedule=tuple(
+                (float(t), int(lk))
+                for t, lk in data.get("fault_schedule", ())
+            ),
             label=str(data.get("label", "")),
         )
 

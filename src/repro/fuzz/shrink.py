@@ -11,8 +11,13 @@ and keeps any variant on which the predicate still holds:
   (renumbering the survivors densely);
 * **links** -- fail individual extra links, as long as the switch graph
   stays connected (:func:`repro.topology.faults.remove_link` semantics);
+  links referenced by the runtime fault schedule are spared, so the
+  schedule keeps aiming at links that exist;
 * **switches** -- delete host-free switches whose removal keeps the switch
-  graph connected, renumbering the survivors.
+  graph connected, renumbering the survivors (and the fault schedule's
+  link ids, since :func:`drop_switch` renumbers links densely);
+* **faults** -- drop runtime fault events (a zero- or one-fault chaos
+  reproducer beats two).
 
 Passes repeat until a full sweep makes no progress, so the result is
 1-minimal with respect to these moves.  Everything is deterministic: moves
@@ -170,7 +175,10 @@ def _shrink_hosts(sc: FuzzScenario, failing: Predicate) -> FuzzScenario | None:
 
 
 def _shrink_links(sc: FuzzScenario, failing: Predicate) -> FuzzScenario | None:
+    scheduled = {lk for _t, lk in sc.fault_schedule}
     for link_id in faults.removable_links(sc.topo):
+        if link_id in scheduled:
+            continue  # keep the fault schedule's targets alive
         candidate = sc.with_changes(
             topo=faults.remove_link(sc.topo, link_id)
         )
@@ -186,7 +194,34 @@ def _shrink_switches(sc: FuzzScenario, failing: Predicate) -> FuzzScenario | Non
         topo = drop_switch(sc.topo, switch)
         if topo is None:
             continue
-        candidate = sc.with_changes(topo=topo)
+        schedule = sc.fault_schedule
+        if schedule:
+            # drop_switch renumbers the surviving links densely in their
+            # old order; remap the schedule's ids (events whose link died
+            # with the switch are dropped).
+            survivors = [
+                lk.link_id for lk in sc.topo.links
+                if lk.a.switch != switch and lk.b.switch != switch
+            ]
+            id_map = {old: new for new, old in enumerate(survivors)}
+            schedule = tuple(
+                (t, id_map[lk])
+                for t, lk in schedule
+                if lk in id_map
+            )
+        candidate = sc.with_changes(topo=topo, fault_schedule=schedule)
+        if failing(candidate):
+            return candidate
+    return None
+
+
+def _shrink_faults(sc: FuzzScenario, failing: Predicate) -> FuzzScenario | None:
+    if not sc.fault_schedule:
+        return None
+    for i in range(len(sc.fault_schedule)):
+        candidate = sc.with_changes(
+            fault_schedule=sc.fault_schedule[:i] + sc.fault_schedule[i + 1:]
+        )
         if failing(candidate):
             return candidate
     return None
@@ -194,6 +229,7 @@ def _shrink_switches(sc: FuzzScenario, failing: Predicate) -> FuzzScenario | Non
 
 _PASSES = (
     _shrink_schemes,
+    _shrink_faults,
     _shrink_dests,
     _shrink_hosts,
     _shrink_links,

@@ -81,11 +81,16 @@ class MulticastScheme(abc.ABC):
         self._plan_cache: dict = {}
 
     def _cached_plan(self, net: SimNetwork, key: tuple, compute):
-        """Memoise ``compute()`` under (network, key) if caching is on."""
+        """Memoise ``compute()`` under (network, epoch, key) if caching is on.
+
+        The routing epoch is part of the key so an Autonet-style runtime
+        reconfiguration (see :meth:`SimNetwork.reconfigure`) invalidates
+        every plan cached on the pre-fault orientation.
+        """
         cache = getattr(self, "_plan_cache", None)
         if cache is None:
             return compute()
-        full_key = (id(net), key)
+        full_key = (id(net), net.routing_epoch, key)
         if full_key not in cache:
             cache[full_key] = compute()
         return cache[full_key]

@@ -44,6 +44,7 @@ class Channel(FifoResource):
         "from_switch",
         "flits_carried",
         "worms_carried",
+        "revoked",
     )
 
     def __init__(
@@ -71,6 +72,18 @@ class Channel(FifoResource):
         self.link = link
         self.flits_carried = 0
         self.worms_carried = 0
+        self.revoked = False
+
+    def revoke(self) -> None:
+        """Take the channel out of service (runtime link fault).
+
+        A revoked channel never accepts new traffic: worms ask
+        :attr:`revoked` before requesting it and abort instead (a link-level
+        nack).  Worms already holding or queued on the channel are aborted by
+        the fault injector; their queued grant closures drain by releasing
+        immediately, so the channel ends idle and stays idle.
+        """
+        self.revoked = True
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Channel {self.name or self.uid} kind={self.kind}>"

@@ -58,22 +58,45 @@ class Host:
         initial_state: object,
         on_delivered: Callable[[int, float], None],
         on_done: Callable[[], None] | None = None,
+        on_abort: Callable[[str], None] | None = None,
         length: int | None = None,
         label: str = "",
     ) -> Worm:
-        """Inject one packet from this node's NI into the network."""
+        """Inject one packet from this node's NI into the network.
+
+        If a runtime link fault kills the worm (see :mod:`repro.chaos`), the
+        nack propagates back to this source host: a ``nack`` trace record is
+        emitted, the abort counters bump, and ``on_abort`` (if given) fires
+        so the sender can retry.
+        """
+        net = self.net
+
+        def nack(reason: str) -> None:
+            net.chaos.worms_aborted += 1
+            net.chaos.nacks += 1
+            if net.trace is not None:
+                net.trace.emit(
+                    net.engine.now, "nack", label,
+                    f"node {self.node}: {reason}",
+                )
+            if on_abort is not None:
+                on_abort(reason)
+
         worm = Worm(
-            self.net.engine,
-            self.net.params,
+            net.engine,
+            net.params,
             steer,
             on_delivered,
             on_done=on_done,
-            rng=self.net.rng,
+            on_abort=nack,
+            rng=net.rng,
             length=length,
             label=label,
-            trace=self.net.trace,
+            trace=net.trace,
         )
-        if self.net.worm_log is not None:
-            self.net.worm_log.append(worm)
-        worm.start(self.net.fabric.inject[self.node], initial_state)
+        worm.epoch = net.routing_epoch
+        net.register_worm(worm)
+        if net.worm_log is not None:
+            net.worm_log.append(worm)
+        worm.start(net.fabric.inject[self.node], initial_state)
         return worm

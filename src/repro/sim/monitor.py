@@ -28,6 +28,12 @@ class UtilizationReport:
     mean_ni_utilization: float
     mean_bus_utilization: float
     total_flits_moved: int
+    # Runtime fault-injection counters (zero on fault-free runs); cumulative
+    # network totals, not windowed -- see repro.sim.network.ChaosStats.
+    worms_aborted: int = 0
+    retries: int = 0
+    reconfigurations: int = 0
+    reconfig_latency_total: float = 0.0
 
     def bottleneck(self) -> str:
         """Name the resource class closest to saturation."""
@@ -107,4 +113,8 @@ class NetworkMonitor:
             mean_ni_utilization=mean(ni_utils),
             mean_bus_utilization=mean(bus_utils),
             total_flits_moved=fab.total_flits_carried() - self._flits0,
+            worms_aborted=self.net.chaos.worms_aborted,
+            retries=self.net.chaos.retries,
+            reconfigurations=self.net.chaos.reconfigurations,
+            reconfig_latency_total=self.net.chaos.reconfig_latency_total,
         )

@@ -7,6 +7,8 @@ unicast steering function every scheme's point-to-point traffic uses.
 from __future__ import annotations
 
 import random
+from dataclasses import dataclass
+from typing import Callable
 
 from repro.params import SimParams
 from repro.routing.reachability import ReachabilityTable
@@ -14,8 +16,29 @@ from repro.routing.updown import Phase, UpDownRouting
 from repro.sim.engine import Engine
 from repro.sim.fabric import Fabric
 from repro.sim.host import Host
-from repro.sim.worm import Deliver, Forward, SteerFn
+from repro.sim.worm import Deliver, Forward, SteerFn, Worm
 from repro.topology.graph import NetworkTopology
+
+
+@dataclass
+class ChaosStats:
+    """Runtime fault-injection counters (see :mod:`repro.chaos`).
+
+    Lives on :attr:`SimNetwork.chaos` so the fault injector, the hosts'
+    nack path, and the reliable-delivery layer can all bump the same
+    counters without import cycles; :class:`~repro.sim.monitor.NetworkMonitor`
+    folds them into its utilization report.
+    """
+
+    faults_fired: int = 0
+    faults_skipped: int = 0
+    worms_aborted: int = 0
+    nacks: int = 0
+    retries: int = 0
+    duplicate_acks: int = 0
+    gave_up: int = 0
+    reconfigurations: int = 0
+    reconfig_latency_total: float = 0.0
 
 
 class SimNetwork:
@@ -48,6 +71,20 @@ class SimNetwork:
         """Assign a list and every :class:`~repro.sim.worm.Worm` launched
         through a host is appended to it (the fuzz oracles audit the hop
         trees of completed worms post-run)."""
+        self.routing_epoch = 0
+        """Bumped by every :meth:`reconfigure`; worms are stamped with the
+        epoch they launched under and cached multicast plans are keyed by it
+        (a reconfiguration therefore invalidates every cached plan)."""
+        self.routing_history: list[UpDownRouting] = [self.routing]
+        """Routing tables per epoch (``routing_history[epoch]``); post-run
+        audits judge each worm against the orientation it was planned on."""
+        self.chaos = ChaosStats()
+        self.fault_listeners: list[Callable[[object], None]] = []
+        """Called (in registration order, with the fired
+        :class:`~repro.chaos.schedule.FaultEvent`) after the injector has
+        revoked a link's channels, aborted its worms, and reconfigured."""
+        self._live_worms: dict[int, Worm] = {}
+        self._worm_uid = 0
 
     # ------------------------------------------------------------------
     # Steering
@@ -85,6 +122,45 @@ class SimNetwork:
             return [Forward(options)]
 
         return steer
+
+    # ------------------------------------------------------------------
+    # Runtime faults (see repro.chaos)
+    # ------------------------------------------------------------------
+    def register_worm(self, worm: Worm) -> None:
+        """Track a launched worm until it finishes or aborts.
+
+        The registry is insertion-ordered, so the fault injector aborts a
+        failed link's worms in launch order -- part of the determinism
+        contract (same seed + same schedule => byte-identical traces).
+        """
+        uid = self._worm_uid
+        self._worm_uid += 1
+        self._live_worms[uid] = worm
+        worm.on_retire = lambda _w, uid=uid: self._live_worms.pop(uid, None)
+
+    def live_worms(self) -> list[Worm]:
+        """In-flight worms, in launch order."""
+        return list(self._live_worms.values())
+
+    def reconfigure(self, topo: NetworkTopology) -> None:
+        """Autonet-style reconfiguration onto a degraded topology.
+
+        Recomputes the BFS/up*/down* orientation and the reachability
+        strings on ``topo`` and bumps :attr:`routing_epoch`, invalidating
+        every cached multicast plan.  The fabric keeps its existing
+        channels (link ids are preserved by
+        :func:`repro.topology.faults.remove_link`), so in-flight worms keep
+        draining on the tables they launched under while new sends plan on
+        the fresh ones.
+        """
+        self.topo = topo
+        self.routing = UpDownRouting.build(
+            topo, orientation=self.params.routing_tree
+        )
+        self.reach = ReachabilityTable.build(self.routing)
+        self.routing_epoch += 1
+        self.routing_history.append(self.routing)
+        self.chaos.reconfigurations += 1
 
     # ------------------------------------------------------------------
     # Execution

@@ -9,6 +9,7 @@ than exhausting memory.
 
 from __future__ import annotations
 
+import hashlib
 from collections import deque
 from dataclasses import dataclass
 
@@ -68,6 +69,19 @@ class TraceLog:
         if self.dropped:
             header += f" ({self.dropped} dropped)"
         return header + ("\n" + body if body else "")
+
+    def digest(self) -> str:
+        """SHA-256 over every rendered record (byte-identity witness).
+
+        The determinism contract of the chaos subsystem -- same seed + same
+        fault schedule => byte-identical runs -- is asserted by comparing
+        this digest across replays (see ``tests/test_chaos.py``).
+        """
+        h = hashlib.sha256()
+        for r in self._records:
+            h.update(str(r).encode())
+            h.update(b"\n")
+        return h.hexdigest()
 
     def clear(self) -> None:
         """Drop all records (the drop counter is kept)."""

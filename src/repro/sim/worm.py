@@ -90,6 +90,8 @@ class _Hop:
     expanded: bool = False  # children hops all created (requests issued)
     children: list["_Hop"] = field(default_factory=list)
     release_scheduled: bool = False
+    released: bool = False  # channel given back (normal tail or abort)
+    counted: bool = False   # traffic committed to the channel's counters
     waiters: list["_Hop"] = field(default_factory=list, repr=False)
     """Hops whose last finalization attempt blocked on this hop."""
 
@@ -106,6 +108,9 @@ class Worm:
             copy reaches a destination NI.
         on_done: optional; fired when every delivery has completed *and*
             every channel has been released.
+        on_abort: optional; fired (with a reason string) when the worm is
+            killed by a runtime link fault -- the nack propagated back to
+            the source host.  ``on_done`` never fires for an aborted worm.
         rng: shared RNG for adaptive tie-breaks (deterministic per seed).
         length: flits in this worm; defaults to ``params.packet_flits``.
     """
@@ -117,6 +122,7 @@ class Worm:
         steer: SteerFn,
         on_delivered: Callable[[int, float], None],
         on_done: Callable[[], None] | None = None,
+        on_abort: Callable[[str], None] | None = None,
         rng: random.Random | None = None,
         length: int | None = None,
         label: str = "",
@@ -132,6 +138,7 @@ class Worm:
         self.steer = steer
         self.on_delivered = on_delivered
         self.on_done = on_done
+        self.on_abort = on_abort
         self.rng = rng or random.Random(params.route_seed)
         self.length = params.packet_flits if length is None else length
         self.label = label
@@ -139,6 +146,15 @@ class Worm:
         """Optional :class:`~repro.sim.tracelog.TraceLog` receiving events."""
         self.start_time: float | None = None
         self.finish_time: float | None = None
+        self.aborted = False
+        self.abort_reason = ""
+        self.epoch = 0
+        """Routing epoch at launch (stamped by :meth:`Host.launch_worm`);
+        post-run audits judge the worm's route against the orientation it was
+        planned under, not against post-reconfiguration tables."""
+        self.on_retire: "Callable[[Worm], None] | None" = None
+        """Set by the launching host: deregisters the worm from the
+        network's live-worm registry on done *or* abort."""
         self._unreleased = 0
         self._pending_deliveries = 0
         self._started = False
@@ -178,7 +194,20 @@ class Worm:
             self.trace.emit(self.engine.now, event, self.label, detail)
 
     def _request(self, hop: _Hop, next_state: object) -> None:
+        if hop.channel.revoked:
+            # Link-level nack: the channel was taken out of service by a
+            # runtime fault after this hop was planned.
+            self.abort(f"channel {hop.channel.name} revoked")
+            return
+
         def granted() -> None:
+            if self.aborted or hop.released:
+                # The worm died while this request sat in the FIFO; the
+                # grant just made the channel ours, so hand it straight
+                # back (no traffic is counted for a cancelled hop).
+                hop.released = True
+                hop.channel.release()
+                return
             hop.h = self.engine.now + hop.channel.delay
             self._trace("grant", hop.channel.name)
             if not hop.terminal:
@@ -210,6 +239,8 @@ class Worm:
 
     def _expand(self, hop: _Hop, state: object) -> None:
         """Header decoded at the switch after crossing ``hop``: replicate."""
+        if self.aborted:
+            return
         switch = hop.channel.to_switch
         assert switch is not None, "expanded a delivery hop"
         instrs = self.steer(switch, state)
@@ -219,6 +250,10 @@ class Worm:
                 f"switch {switch} -- the worm would be stranded"
             )
         for ins in instrs:
+            if self.aborted:
+                # A sibling branch hit a revoked channel while this loop
+                # ran; stop issuing requests for the rest of the tree.
+                return
             if isinstance(ins, Deliver):
                 child = self._new_hop(ins.channel, parent=hop)
                 child.terminal = True
@@ -226,7 +261,11 @@ class Worm:
                 self._pending_deliveries += 1
                 self._request(child, next_state=None)
             elif isinstance(ins, Forward):
-                chosen, next_state = self._choose(ins.options)
+                options = [o for o in ins.options if not o[0].revoked]
+                if not options:
+                    self.abort(f"no surviving route at switch {switch}")
+                    return
+                chosen, next_state = self._choose(options)
                 child = self._new_hop(chosen, parent=hop)
                 self._request(child, next_state=next_state)
             else:  # pragma: no cover - type guard
@@ -249,6 +288,8 @@ class Worm:
         ]
 
     def _delivered(self, node: int) -> None:
+        if self.aborted:
+            return
         self._pending_deliveries -= 1
         self._trace("deliver", f"node {node}")
         self.on_delivered(node, self.engine.now)
@@ -289,6 +330,8 @@ class Worm:
 
     def _refinalize(self, changed: _Hop) -> None:
         """Re-attempt tail finalization for ``changed`` and its waiters."""
+        if self.aborted:
+            return
         candidates = [changed]
         if changed.waiters:
             candidates.extend(changed.waiters)
@@ -361,6 +404,12 @@ class Worm:
         return best
 
     def _release(self, hop: _Hop) -> None:
+        if hop.released:
+            # Abort already handed the channel back; the tail-time release
+            # event scheduled earlier must not double-release.
+            return
+        hop.released = True
+        hop.counted = True
         self._trace("release", hop.channel.name)
         hop.channel.flits_carried += self.length
         hop.channel.worms_carried += 1
@@ -369,8 +418,63 @@ class Worm:
         self._check_done()
 
     def _check_done(self) -> None:
+        if self.aborted:
+            return
         if self._unreleased == 0 and self._pending_deliveries == 0:
             if self.finish_time is None:
                 self.finish_time = self.engine.now
                 if self.on_done is not None:
                     self.on_done()
+                if self.on_retire is not None:
+                    self.on_retire(self)
+
+    # ------------------------------------------------------------------
+    # Runtime faults
+    # ------------------------------------------------------------------
+    def abort(self, reason: str) -> None:
+        """Kill the worm (runtime link fault): release every held channel.
+
+        All granted, not-yet-released hops hand their channels back
+        immediately *without* committing traffic to the channel counters
+        (an aborted transfer never completed, so it carries no flits for
+        the load accounting -- see :meth:`hop_counted`).  Ungranted hops
+        stay queued; their grant closures self-release when the FIFO
+        reaches them.  Pending tail-release and delivery events become
+        no-ops via the :attr:`aborted` guards.  Fires ``on_abort`` (the
+        nack to the source host) exactly once.
+        """
+        if self.aborted or self.finish_time is not None:
+            return
+        self.aborted = True
+        self.abort_reason = reason
+        self._trace("abort", reason)
+        for hop in self._hops:
+            if hop.h is not None and not hop.released:
+                hop.released = True
+                hop.channel.release()
+        if self.on_abort is not None:
+            self.on_abort(reason)
+        if self.on_retire is not None:
+            self.on_retire(self)
+
+    def touches(self, channel_uids: set[int]) -> bool:
+        """Does the worm hold or await any of these channels right now?
+
+        Used by the fault injector to find the victims of a revoked link:
+        a hop that is granted-but-unreleased holds the channel; one that is
+        requested-but-ungranted sits in its FIFO queue.  Released hops no
+        longer matter.
+        """
+        return any(
+            not h.released and h.channel.uid in channel_uids
+            for h in self._hops
+        )
+
+    def hop_counted(self) -> list[bool]:
+        """Per-hop flag: did the hop commit traffic to its channel counters?
+
+        Aligned with :meth:`hop_records` order.  Aborted hops release their
+        channels without counting, so conservation audits must only expect
+        ``length`` flits on hops marked ``True`` here.
+        """
+        return [h.counted for h in self._hops]

@@ -4,9 +4,20 @@ The paper motivates irregular topologies by exactly this: "using such
 topologies allows easy addition and deletion of nodes ... making the overall
 environment more amenable to network reconfigurations and resistant to
 faults."  Autonet reconfigures by recomputing its spanning tree when links
-fail; in this library, reconfiguration is simply building a new
-:class:`~repro.sim.network.SimNetwork` on the degraded topology (routing
-tables, reachability strings, and all multicast plans follow).
+fail.
+
+Two fault models live in this library:
+
+* **Static** (this module): links are failed *before* a run --
+  :func:`degrade` picks removable links, and reconfiguration is simply
+  building a new :class:`~repro.sim.network.SimNetwork` on the degraded
+  topology (routing tables, reachability strings, and all multicast plans
+  follow).
+* **Runtime** (:mod:`repro.chaos`): links fail *mid-run* on a seeded
+  schedule (drawn here by :func:`schedule_faults`); in-flight worms abort
+  with a nack, the live network reconfigures in place via
+  :meth:`~repro.sim.network.SimNetwork.reconfigure`, and a retry layer
+  redelivers exactly-once on the new orientation.
 """
 
 from __future__ import annotations
@@ -78,3 +89,42 @@ def degrade(
         current = remove_link(current, victim)
         failed.append(victim)
     return current, failed
+
+
+def schedule_faults(
+    topo: NetworkTopology,
+    n_failures: int,
+    rng: random.Random | None = None,
+    window: tuple[float, float] = (0.0, 1000.0),
+) -> list[tuple[float, int]]:
+    """Draw a seeded runtime fault schedule: ``(fire_time, link_id)`` pairs.
+
+    Links are chosen like :func:`degrade` -- each one keeps the
+    *sequentially* degraded network connected -- so the whole schedule can
+    be absorbed by Autonet-style reconfiguration.  Fire times are uniform
+    in ``window`` and returned sorted ascending (ties keep draw order).
+    Deterministic for a given ``rng`` state; arm the result on a live
+    network with :class:`repro.chaos.FaultInjector`.
+    """
+    if n_failures < 0:
+        raise ValueError("n_failures must be non-negative")
+    lo, hi = window
+    if hi < lo:
+        raise ValueError("window must be (low, high) with low <= high")
+    rng = rng or random.Random(0)
+    current = topo
+    victims: list[int] = []
+    for _ in range(n_failures):
+        candidates = removable_links(current)
+        if not candidates:
+            raise ValueError(
+                f"cannot schedule {n_failures} runtime faults without "
+                f"disconnecting (stuck after {len(victims)})"
+            )
+        victim = rng.choice(candidates)
+        current = remove_link(current, victim)
+        victims.append(victim)
+    # Sorted fire times are paired with victims in draw order, so the links
+    # fail in exactly the sequence whose connectivity was just validated.
+    times = sorted(rng.uniform(lo, hi) for _ in victims)
+    return list(zip(times, victims))

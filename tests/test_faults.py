@@ -10,6 +10,7 @@ from repro.routing.deadlock import verify_deadlock_free
 from repro.routing.updown import UpDownRouting
 from repro.sim.network import SimNetwork
 from repro.topology.faults import degrade, removable_links, remove_link
+from repro.topology.graph import NetworkTopology, PortRef, SwitchLink
 from repro.topology.irregular import generate_irregular_topology
 from tests.topo_fixtures import make_diamond, make_line
 
@@ -41,6 +42,21 @@ class TestRemoveLink:
         assert removable_links(make_line(3)) == []
         assert set(removable_links(make_diamond())) == {0, 1, 2, 3}
 
+    def test_host_attachment_port_id_is_not_a_link_id(self):
+        # Link ids and port ids are distinct namespaces: passing the port
+        # number of a host attachment must not silently fail a switch link.
+        links = [
+            SwitchLink(10, PortRef(0, 1), PortRef(1, 1)),
+            SwitchLink(11, PortRef(1, 2), PortRef(2, 1)),
+            SwitchLink(12, PortRef(2, 2), PortRef(0, 2)),
+        ]
+        attach = [PortRef(s, 0) for s in range(3)]  # hosts sit on port 0
+        topo = NetworkTopology(3, 8, attach, links)
+        with pytest.raises(ValueError, match="no link with id 0"):
+            remove_link(topo, 0)
+        # the real link ids are still individually removable (it's a cycle)
+        assert removable_links(topo) == [10, 11, 12]
+
 
 class TestDegrade:
     def test_zero_failures_is_identity_shape(self):
@@ -67,6 +83,12 @@ class TestDegrade:
             degrade(make_line(4), 1)
         with pytest.raises(ValueError):
             degrade(make_diamond(), -1)
+
+    def test_stuck_mid_degrade_reports_progress(self):
+        # The diamond absorbs exactly one failure (then it is a tree); the
+        # error must say how far the degradation got before sticking.
+        with pytest.raises(ValueError, match=r"stuck after 1"):
+            degrade(make_diamond(), 2, random.Random(0))
 
 
 class TestReconfiguration:

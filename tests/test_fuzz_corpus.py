@@ -29,6 +29,17 @@ def test_corpus_includes_a_degraded_topology():
     )
 
 
+def test_corpus_includes_chaos_scenarios():
+    chaos = [sc for _, sc in ENTRIES if sc.fault_schedule]
+    assert len(chaos) >= 2, (
+        "corpus must hold at least 2 runtime-fault (chaos) scenarios"
+    )
+    assert any(len(sc.fault_schedule) >= 2 for sc in chaos), (
+        "at least one chaos entry must arm multiple faults "
+        "(sequential reconfigurations)"
+    )
+
+
 def test_corpus_entries_are_minimized_small():
     for path, sc in ENTRIES:
         assert sc.topo.num_switches <= 8, path.name

@@ -86,7 +86,7 @@ class TestPlanCache:
         dests = [4, 9, 13]
         r1 = scheme.execute(net, 0, dests)
         net.run()
-        key = (id(net), ("mdp", 0, tuple(dests)))
+        key = (id(net), net.routing_epoch, ("mdp", 0, tuple(dests)))
         assert key in scheme._plan_cache
         plan_obj = scheme._plan_cache[key]
         r2 = scheme.execute(net, 0, dests)

@@ -38,6 +38,25 @@ def make_diamond(hosts_per_switch: int = 1) -> NetworkTopology:
     return NetworkTopology(4, 8, attach, links)
 
 
+def make_chorded_diamond(hosts_per_switch: int = 2) -> NetworkTopology:
+    """The diamond plus a sw0-sw3 chord: two independent cycles.
+
+    Any single link is removable, and after losing the chord (link 4) the
+    remaining 4-cycle still tolerates one more failure -- the smallest
+    fixture on which *two* runtime faults can fire in sequence.
+    """
+    h = hosts_per_switch
+    links = [
+        SwitchLink(0, PortRef(0, h), PortRef(1, h)),
+        SwitchLink(1, PortRef(0, h + 1), PortRef(2, h)),
+        SwitchLink(2, PortRef(1, h + 1), PortRef(3, h)),
+        SwitchLink(3, PortRef(2, h + 1), PortRef(3, h + 1)),
+        SwitchLink(4, PortRef(0, h + 2), PortRef(3, h + 2)),
+    ]
+    attach = [PortRef(s, i) for s in range(4) for i in range(h)]
+    return NetworkTopology(4, 8, attach, links)
+
+
 def make_star(n_leaf_switches: int = 4, hosts_per_switch: int = 2,
               ports: int = 8) -> NetworkTopology:
     """Hub switch 0 with leaf switches 1..k, hosts on every switch."""
