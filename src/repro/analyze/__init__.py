@@ -1,0 +1,30 @@
+"""Whole-program static analysis: determinism sanitizer + partition safety.
+
+Where :mod:`repro.lint` checks one file (or one loaded topology) at a time,
+this package sees the *whole* ``repro`` package at once:
+
+* :mod:`~repro.analyze.project` builds a project-wide symbol table and call
+  graph;
+* :mod:`~repro.analyze.effects` infers, per function, which ``self.*``
+  attributes, class variables, and module-level objects it mutates,
+  propagated transitively through the call graph;
+* :mod:`~repro.analyze.taint` tracks unordered-iteration and
+  object-identity taint from sources (``set`` iteration, ``id()``,
+  ``os.environ``) to event-scheduling / trace / seed-derivation sinks;
+* :mod:`~repro.analyze.partition` classifies every simulation module as
+  shareable-immutable, partition-local, or cross-partition-mutating -- the
+  machine-readable contract (``analyze-manifest.json``) the future sharded
+  Chandy--Misra runner will consume;
+* :mod:`~repro.analyze.epochs` statically replays chaos fault schedules
+  (degrade -> rebuild up*/down* -> multicast CDG) and proves acyclicity and
+  reachability at *every* routing epoch, not just epoch 0.
+
+Entry points: ``python -m repro.analyze`` / ``repro-analyze`` (see
+:mod:`~repro.analyze.cli`), plus registration of the code rules into the
+:mod:`repro.lint` registry (:mod:`~repro.analyze.rules`) so one lint
+invocation runs both passes.
+"""
+
+from repro.analyze.engine import AnalysisResult, run_analysis
+
+__all__ = ["AnalysisResult", "run_analysis"]

@@ -1,0 +1,6 @@
+"""``python -m repro.analyze`` entry point."""
+
+from repro.analyze.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

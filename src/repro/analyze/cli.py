@@ -1,0 +1,133 @@
+"""Command-line entry point: ``repro-analyze`` / ``python -m repro.analyze``.
+
+Examples::
+
+    repro-analyze                       # src/repro + tests/fuzz_corpus
+    repro-analyze src/repro --json
+    repro-analyze --write-manifest      # refresh analyze-manifest.json
+    repro-analyze --corpus tests/fuzz_corpus --corpus /tmp/found
+    repro-analyze --list-rules
+
+Exit status: 0 when no error-severity findings, 1 when there are findings,
+2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+from repro.analyze.engine import MANIFEST_NAME, run_analysis
+from repro.analyze.report import render_json, render_rule_list, render_text
+
+DEFAULT_CORPUS = pathlib.Path("tests/fuzz_corpus")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-analyze",
+        description=(
+            "Whole-program determinism sanitizer, partition-safety "
+            "certifier, and epoch-sequence model verifier."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to analyze (default: src/repro)",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="emit a JSON report"
+    )
+    parser.add_argument(
+        "--manifest",
+        default=MANIFEST_NAME,
+        metavar="FILE",
+        help=(
+            "partition-safety manifest to diff against "
+            f"(default: {MANIFEST_NAME})"
+        ),
+    )
+    parser.add_argument(
+        "--write-manifest",
+        action="store_true",
+        help="rewrite the manifest instead of diffing it",
+    )
+    parser.add_argument(
+        "--no-manifest-check",
+        action="store_true",
+        help="skip the manifest diff entirely",
+    )
+    parser.add_argument(
+        "--corpus",
+        action="append",
+        default=[],
+        metavar="DIR",
+        help=(
+            "corpus directory for the epoch-sequence verifier (repeatable; "
+            "default: tests/fuzz_corpus when it exists)"
+        ),
+    )
+    parser.add_argument(
+        "--no-epochs",
+        action="store_true",
+        help="skip corpus epoch verification",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="describe every analyzer rule, then exit",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        print(render_rule_list())
+        return 0
+
+    paths = [pathlib.Path(p) for p in args.paths]
+    if not paths:
+        default = pathlib.Path("src/repro")
+        if not default.is_dir():
+            print(
+                "no paths given and ./src/repro does not exist",
+                file=sys.stderr,
+            )
+            return 2
+        paths = [default]
+    for p in paths:
+        if not p.exists():
+            print(f"no such file or directory: {p}", file=sys.stderr)
+            return 2
+
+    corpus_dirs = [pathlib.Path(c) for c in args.corpus]
+    if not corpus_dirs and not args.no_epochs and DEFAULT_CORPUS.is_dir():
+        corpus_dirs = [DEFAULT_CORPUS]
+    for c in corpus_dirs:
+        if not c.is_dir():
+            print(f"no such corpus directory: {c}", file=sys.stderr)
+            return 2
+
+    try:
+        result = run_analysis(
+            paths,
+            corpus_dirs=[] if args.no_epochs else corpus_dirs,
+            manifest_path=(
+                None if args.no_manifest_check
+                else pathlib.Path(args.manifest)
+            ),
+            write_manifest=args.write_manifest,
+        )
+    except FileNotFoundError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+
+    print(render_json(result) if args.json else render_text(result))
+    return result.exit_code
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,344 @@
+"""Effects inference: what state does each function mutate?
+
+For every function in the :class:`~repro.analyze.project.ProjectIndex` this
+module computes an :class:`EffectSet`:
+
+* ``self_writes`` -- instance attributes assigned or mutated through the
+  receiver (``self.x = ...``, ``self.q.append(...)``);
+* ``class_writes`` -- class attributes assigned through a project class
+  (``Cls.registry[...] = ...``);
+* ``global_writes`` -- module-level bindings assigned or mutated, in this
+  module (including through a ``global`` declaration and through one level
+  of local aliasing, ``table = REGISTRY; table[k] = v``) or in another
+  module through an import (``SCHEMES["ni"] = ...``);
+* ``param_writes`` -- attribute stores on a *parameter* whose type resolves
+  to a project class (``net.trace = ...``): mutation of caller-owned state.
+
+Direct effects are then propagated transitively through the call graph to a
+fixpoint: a function inherits the global/class writes of everything it can
+call.  ``self_writes``/``param_writes`` stay local -- they describe the
+function's own receiver/arguments, which a caller maps onto *its* values.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from repro.analyze.project import (
+    MUTATING_METHODS,
+    FunctionInfo,
+    ProjectIndex,
+)
+
+
+@dataclass
+class EffectSet:
+    """Mutation footprint of one function."""
+
+    self_writes: dict[str, int] = field(default_factory=dict)
+    """attr name -> first line it is written on."""
+
+    class_writes: dict[str, int] = field(default_factory=dict)
+    """``module:Cls.attr`` -> line."""
+
+    global_writes: dict[str, int] = field(default_factory=dict)
+    """``module:NAME`` -> line."""
+
+    param_writes: dict[str, int] = field(default_factory=dict)
+    """``ClassQual.attr`` -> line (attribute stores on typed parameters)."""
+
+    def mutates_shared(self) -> bool:
+        return bool(self.class_writes or self.global_writes)
+
+
+def _receiver_name(fn: FunctionInfo) -> str | None:
+    """The ``self`` parameter name of a method (None for functions)."""
+    if fn.cls is None or fn.is_staticmethod or fn.is_classmethod:
+        return None
+    args = fn.node.args
+    if args.posonlyargs:
+        return args.posonlyargs[0].arg
+    if args.args:
+        return args.args[0].arg
+    return None
+
+
+def _root_name(node: ast.AST) -> str | None:
+    """The base ``Name`` a subscript/attribute chain hangs off."""
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        node = node.value
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+class _FunctionEffects:
+    """Single-function direct-effect extraction."""
+
+    def __init__(self, index: ProjectIndex, fn: FunctionInfo) -> None:
+        self.index = index
+        self.fn = fn
+        self.entry = index.modules[fn.module]
+        self.receiver = _receiver_name(fn)
+        self.effects = EffectSet()
+        self.globals_declared: set[str] = set()
+        self.aliases: dict[str, str] = {}
+        """Local name -> module-global name it aliases (one level)."""
+
+        self.locals_: set[str] = {
+            a.arg for a in (
+                list(fn.node.args.posonlyargs) + list(fn.node.args.args)
+                + list(fn.node.args.kwonlyargs)
+            )
+        }
+        self.param_types = {
+            name: cls for name, cls in index._local_types(fn).items()
+            if name in self.locals_ and name != self.receiver
+        }
+
+    # -- helpers -------------------------------------------------------
+    def _global_target(self, name: str) -> str | None:
+        """``module:NAME`` if ``name`` denotes a module-level binding."""
+        name = self.aliases.get(name, name)
+        if name in self.locals_:
+            return None
+        if name in self.entry.globals_:
+            return f"{self.fn.module}:{name}"
+        target = self.index.resolve_name(self.fn.module, name)
+        if target is not None and ":" in target:
+            mod, member = target.split(":", 1)
+            mod_entry = self.index.modules.get(mod)
+            if mod_entry is not None and member in mod_entry.globals_:
+                return target
+        return None
+
+    def _note_store(self, target: ast.AST, lineno: int) -> None:
+        if isinstance(target, ast.Name):
+            if target.id in self.globals_declared:
+                self.effects.global_writes.setdefault(
+                    f"{self.fn.module}:{target.id}", lineno)
+            else:
+                self.locals_.add(target.id)
+            return
+        root = _root_name(target)
+        if root is None:
+            return
+        if root == self.receiver:
+            attr = self._receiver_attr(target)
+            if attr is not None:
+                self.effects.self_writes.setdefault(attr, lineno)
+            return
+        if root in self.param_types:
+            attr = self._first_attr(target)
+            if attr is not None:
+                cls = self.param_types[root]
+                self.effects.param_writes.setdefault(
+                    f"{cls.qual}.{attr}", lineno)
+            return
+        glob = self._global_target(root)
+        if glob is not None:
+            self.effects.global_writes.setdefault(glob, lineno)
+            return
+        cls_target = self.index.resolve_name(self.fn.module, root)
+        if cls_target is not None and cls_target in self.index.classes \
+                and isinstance(target, (ast.Attribute, ast.Subscript)):
+            attr = self._first_attr(target) or "?"
+            self.effects.class_writes.setdefault(
+                f"{cls_target}.{attr}", lineno)
+
+    def _receiver_attr(self, target: ast.AST) -> str | None:
+        """``self.X...`` -> ``X`` (the instance attribute being touched)."""
+        return self._first_attr(target)
+
+    def _first_attr(self, target: ast.AST) -> str | None:
+        """First attribute hop off the root name (``a.x[0].y`` -> ``x``)."""
+        chain: list[ast.AST] = []
+        node = target
+        while isinstance(node, (ast.Attribute, ast.Subscript)):
+            chain.append(node)
+            node = node.value
+        for hop in reversed(chain):
+            if isinstance(hop, ast.Attribute):
+                return hop.attr
+        return None
+
+    # -- walk ----------------------------------------------------------
+    def run(self) -> EffectSet:
+        for node in ast.walk(self.fn.node):
+            if isinstance(node, ast.Global):
+                self.globals_declared.update(node.names)
+        for node in ast.walk(self.fn.node):
+            if isinstance(node, ast.Assign):
+                self._maybe_alias(node)
+                for t in node.targets:
+                    self._note_store(t, node.lineno)
+            elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                if isinstance(node, ast.AnnAssign) and node.value is None:
+                    continue
+                self._note_store(node.target, node.lineno)
+            elif isinstance(node, (ast.Delete,)):
+                for t in node.targets:
+                    self._note_store(t, node.lineno)
+            elif isinstance(node, ast.Call):
+                self._note_mutating_call(node)
+            elif isinstance(node, ast.For):
+                self._note_loop_target(node.target)
+            elif isinstance(node, (ast.With, ast.AsyncWith)):
+                for item in node.items:
+                    if item.optional_vars is not None:
+                        self._note_loop_target(item.optional_vars)
+        return self.effects
+
+    def _note_loop_target(self, target: ast.AST) -> None:
+        for node in ast.walk(target):
+            if isinstance(node, ast.Name):
+                self.locals_.add(node.id)
+
+    def _maybe_alias(self, node: ast.Assign) -> None:
+        """Record ``local = GLOBAL`` / ``local = GLOBAL[...]`` aliases."""
+        root = _root_name(node.value) if not isinstance(
+            node.value, ast.Call) else None
+        if root is None:
+            return
+        resolved = self.aliases.get(root, root)
+        if resolved in self.locals_:
+            return
+        if self._global_target(resolved) is None:
+            return
+        for t in node.targets:
+            if isinstance(t, ast.Name):
+                self.aliases[t.id] = resolved
+
+    def _note_mutating_call(self, node: ast.Call) -> None:
+        func = node.func
+        if not isinstance(func, ast.Attribute):
+            return
+        if func.attr not in MUTATING_METHODS:
+            return
+        root = _root_name(func.value)
+        if root is None:
+            return
+        if root == self.receiver:
+            attr = self._first_attr(func.value)
+            if attr is not None:
+                self.effects.self_writes.setdefault(attr, node.lineno)
+            return
+        if root in self.param_types:
+            attr = self._first_attr(func.value)
+            if attr is not None:
+                self.effects.param_writes.setdefault(
+                    f"{self.param_types[root].qual}.{attr}", node.lineno)
+            return
+        glob = self._global_target(root)
+        if glob is not None:
+            self.effects.global_writes.setdefault(glob, node.lineno)
+
+
+@dataclass
+class EffectsReport:
+    """Direct and transitive effects of every project function."""
+
+    direct: dict[str, EffectSet]
+    transitive: dict[str, EffectSet]
+
+    def shared_writes(self, qual: str) -> dict[str, int]:
+        """All global+class writes of a function, transitively."""
+        eff = self.transitive.get(qual)
+        if eff is None:
+            return {}
+        out = dict(eff.global_writes)
+        out.update(eff.class_writes)
+        return out
+
+
+def infer_effects(index: ProjectIndex) -> EffectsReport:
+    """Direct effects per function + transitive closure over the call graph."""
+    direct: dict[str, EffectSet] = {}
+    for qual in sorted(index.functions):
+        direct[qual] = _FunctionEffects(index, index.functions[qual]).run()
+
+    transitive: dict[str, EffectSet] = {
+        qual: EffectSet(
+            self_writes=dict(eff.self_writes),
+            class_writes=dict(eff.class_writes),
+            global_writes=dict(eff.global_writes),
+            param_writes=dict(eff.param_writes),
+        )
+        for qual, eff in direct.items()
+    }
+    # Fixpoint: iterate until no function gains a new shared write.  The
+    # call graph is small (a few hundred nodes) so a simple sweep is fine.
+    changed = True
+    while changed:
+        changed = False
+        for qual in sorted(transitive):
+            eff = transitive[qual]
+            for callee in sorted(index.callees.get(qual, ())):
+                callee_eff = transitive.get(callee)
+                if callee_eff is None:
+                    continue
+                for key, line in callee_eff.global_writes.items():
+                    if key not in eff.global_writes:
+                        eff.global_writes[key] = line
+                        changed = True
+                for key, line in callee_eff.class_writes.items():
+                    if key not in eff.class_writes:
+                        eff.class_writes[key] = line
+                        changed = True
+    return EffectsReport(direct=direct, transitive=transitive)
+
+
+def runtime_mutating_methods(
+    index: ProjectIndex, direct: dict[str, EffectSet]
+) -> dict[str, set[str]]:
+    """Per class, the instance-mutating methods reachable outside construction.
+
+    A class is *runtime-mutating* when some non-constructor public entry
+    point (any method whose name does not start with ``_`` and is not
+    ``__init__``/``__post_init__``, nor a classmethod factory) can --
+    directly or through intra-class private calls -- write ``self.*``.
+    Classes whose every self-write is confined to construction can be
+    shared read-only across partitions once built.
+    """
+    out: dict[str, set[str]] = {}
+    for cls_qual in sorted(index.classes):
+        cls = index.classes[cls_qual]
+        ctor_family = {"__init__", "__post_init__", "__new__"}
+        entries = [
+            m for m in sorted(cls.methods)
+            if m not in ctor_family
+            and not m.startswith("_")
+            and not cls.methods[m].is_classmethod
+            and not cls.methods[m].is_property
+        ]
+        mutating: set[str] = set()
+        for entry_name in entries:
+            seen: set[str] = set()
+            stack = [cls.methods[entry_name].qual]
+            writes = False
+            while stack and not writes:
+                qual = stack.pop()
+                if qual in seen:
+                    continue
+                seen.add(qual)
+                eff = direct.get(qual)
+                fn = index.functions.get(qual)
+                if eff is not None and eff.self_writes and fn is not None \
+                        and fn.cls == cls.name and fn.module == cls.module:
+                    writes = True
+                    break
+                # Follow same-class calls only: other receivers are other
+                # objects' state, charged to their own classes.
+                for site in index.calls.get(qual, ()):
+                    if site.callee is None:
+                        continue
+                    callee = index.functions.get(site.callee)
+                    if callee is not None and callee.cls == cls.name \
+                            and callee.module == cls.module:
+                        stack.append(site.callee)
+            if writes:
+                mutating.add(entry_name)
+        if mutating:
+            out[cls_qual] = mutating
+    return out

@@ -1,0 +1,253 @@
+"""Analyze engine: one entry point running every whole-program pass.
+
+:func:`run_analysis` is what ``repro-analyze`` (and the tests) call.  It
+
+1. parses the target files with the same source discovery the lint engine
+   uses (shared suppression mechanism, shared scoping);
+2. runs the analyzer rules -- identity, taint, partition safety -- through
+   the same check functions registered in the lint registry;
+3. applies ``# lint: disable=`` suppressions with statement anchoring, and
+   *requires a justification* (`` -- why``) on every suppression of an
+   analyze rule: a bare suppression is itself a finding;
+4. regenerates the partition-safety manifest and (optionally) diffs it
+   against the committed ``analyze-manifest.json``;
+5. statically verifies every fuzz/chaos corpus entry's fault schedule with
+   the epoch-sequence verifier.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from dataclasses import dataclass, field
+
+from repro.analyze.epochs import verify_scenario_epochs
+from repro.analyze.partition import manifest_dict
+from repro.analyze.rules import (
+    _analysis_for,
+    check_cross_network_mutation,
+    check_identity_in_sim,
+    check_runtime_global_mutation,
+    check_unordered_into_sink,
+)
+from repro.lint.findings import Finding, Severity
+from repro.lint.registry import SIM_SCOPES, rule_applies
+from repro.lint.sources import ParsedFile, collect_py_files, parse_file
+from repro.lint.suppress import (
+    parse_suppression_comments,
+    statement_anchors,
+)
+
+ANALYZE_RULES = frozenset({
+    "identity-in-sim",
+    "unordered-into-sink",
+    "runtime-global-mutation",
+    "cross-network-mutation",
+})
+"""Rule ids whose suppression requires a justification comment."""
+
+MANIFEST_NAME = "analyze-manifest.json"
+
+
+@dataclass
+class AnalysisResult:
+    """Outcome of one ``repro-analyze`` run."""
+
+    findings: list[Finding] = field(default_factory=list)
+    suppressed: int = 0
+    files_scanned: int = 0
+    manifest: dict = field(default_factory=dict)
+    epochs_verified: dict[str, int] = field(default_factory=dict)
+    """Corpus entry path -> number of routing epochs proven safe."""
+
+    @property
+    def errors(self) -> list[Finding]:
+        return [f for f in self.findings if f.severity is Severity.ERROR]
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.errors else 0
+
+
+def render_manifest(manifest: dict) -> str:
+    """Canonical byte form of the manifest (what gets committed)."""
+    return json.dumps(manifest, indent=2, sort_keys=True) + "\n"
+
+
+def _apply_suppressions(
+    files: dict[str, ParsedFile],
+    findings: list[Finding],
+    result: AnalysisResult,
+) -> None:
+    """Drop suppressed findings; flag unjustified analyze-rule suppressions."""
+    comments = {
+        pf.path: parse_suppression_comments(pf.source)
+        for pf in files.values()
+    }
+    anchors = {
+        pf.path: statement_anchors(pf.tree) for pf in files.values()
+    }
+    unjustified: dict[tuple[str, int], Finding] = {}
+    for finding in findings:
+        file_comments = comments.get(finding.path, {})
+        file_anchors = anchors.get(finding.path, {})
+        candidates = [finding.line]
+        anchor = file_anchors.get(finding.line)
+        if anchor is not None and anchor != finding.line:
+            candidates.append(anchor)
+        matched = None
+        for cand in candidates:
+            supp = file_comments.get(cand)
+            if supp is not None and (
+                finding.rule in supp.rules or "all" in supp.rules
+            ):
+                matched = (cand, supp)
+                break
+        if matched is None:
+            result.findings.append(finding)
+            continue
+        result.suppressed += 1
+        line, supp = matched
+        if finding.rule in ANALYZE_RULES and supp.justification is None:
+            unjustified[(finding.path, line)] = Finding(
+                rule="unjustified-suppression",
+                severity=Severity.ERROR,
+                path=finding.path,
+                line=line,
+                col=0,
+                message=(
+                    f"suppression of {finding.rule} has no justification; "
+                    "append ' -- <why this is safe>' to the disable comment"
+                ),
+            )
+    result.findings.extend(unjustified.values())
+
+
+def _check_manifest(
+    manifest: dict,
+    manifest_path: pathlib.Path,
+    write: bool,
+    result: AnalysisResult,
+) -> None:
+    fresh = render_manifest(manifest)
+    if write:
+        manifest_path.write_text(fresh, encoding="utf-8")
+        return
+    if not manifest_path.exists():
+        result.findings.append(Finding(
+            rule="manifest-missing",
+            severity=Severity.ERROR,
+            path=str(manifest_path),
+            line=0,
+            col=0,
+            message=(
+                "partition-safety manifest not found; generate it with "
+                "repro-analyze --write-manifest and commit it"
+            ),
+        ))
+        return
+    committed = manifest_path.read_text(encoding="utf-8")
+    if committed != fresh:
+        result.findings.append(Finding(
+            rule="manifest-drift",
+            severity=Severity.ERROR,
+            path=str(manifest_path),
+            line=0,
+            col=0,
+            message=(
+                "committed manifest is not byte-identical to a fresh "
+                "regeneration; rerun repro-analyze --write-manifest and "
+                "commit the result"
+            ),
+        ))
+
+
+def _verify_corpora(
+    corpus_dirs: list[pathlib.Path], result: AnalysisResult
+) -> None:
+    from repro.fuzz.corpus import corpus_files, load_entry
+
+    for directory in corpus_dirs:
+        for path in corpus_files(directory):
+            try:
+                scenario = load_entry(path)
+            except (ValueError, KeyError, TypeError, OSError) as exc:
+                result.findings.append(Finding(
+                    rule="epoch-corpus-unreadable",
+                    severity=Severity.ERROR,
+                    path=str(path),
+                    line=0,
+                    col=0,
+                    message=f"cannot load corpus entry: {exc}",
+                ))
+                continue
+            problems = verify_scenario_epochs(scenario)
+            for problem in problems:
+                result.findings.append(Finding(
+                    rule=f"epoch-{problem.kind}",
+                    severity=Severity.ERROR,
+                    path=str(path),
+                    line=0,
+                    col=0,
+                    message=problem.message(),
+                ))
+            if not problems:
+                result.epochs_verified[str(path)] = (
+                    len(scenario.fault_schedule) + 1
+                )
+
+
+def run_analysis(
+    paths: list[pathlib.Path],
+    *,
+    corpus_dirs: list[pathlib.Path] | None = None,
+    manifest_path: pathlib.Path | None = None,
+    write_manifest: bool = False,
+) -> AnalysisResult:
+    """Run every analyzer; returns findings sorted by location.
+
+    ``corpus_dirs`` are directories of fuzz/chaos corpus entries for the
+    epoch-sequence verifier (None or empty skips it).  With
+    ``manifest_path`` the partition manifest is diffed against that file
+    (or rewritten when ``write_manifest`` is set).
+    """
+    result = AnalysisResult()
+    files: dict[str, ParsedFile] = {}
+    for path in collect_py_files(paths):
+        try:
+            pf = parse_file(path, roots=paths)
+        except SyntaxError as exc:
+            result.findings.append(Finding(
+                rule="parse-error",
+                severity=Severity.ERROR,
+                path=str(path),
+                line=exc.lineno or 0,
+                col=exc.offset or 0,
+                message=f"file does not parse: {exc.msg}",
+            ))
+            continue
+        files[pf.path] = pf
+    result.files_scanned = len(files)
+
+    raw: list[Finding] = []
+    from repro.lint.registry import CODE_RULES
+
+    identity_rule = CODE_RULES["identity-in-sim"]
+    for pf in files.values():
+        if rule_applies(identity_rule, pf.scope):
+            raw.extend(check_identity_in_sim(pf.tree, pf.path, pf.scope))
+    raw.extend(check_unordered_into_sink(files))
+    raw.extend(check_runtime_global_mutation(files))
+    raw.extend(check_cross_network_mutation(files))
+    _apply_suppressions(files, raw, result)
+
+    _index, _effects, partition = _analysis_for(files)
+    result.manifest = manifest_dict(partition, SIM_SCOPES)
+    if manifest_path is not None:
+        _check_manifest(result.manifest, manifest_path, write_manifest, result)
+
+    if corpus_dirs:
+        _verify_corpora(corpus_dirs, result)
+
+    result.findings.sort(key=Finding.sort_key)
+    return result

@@ -1,0 +1,101 @@
+"""Rendering analyze results for humans and for machines (``--json``)."""
+
+from __future__ import annotations
+
+import json
+
+from repro.analyze.engine import AnalysisResult
+from repro.lint.findings import Severity
+
+META_RULES: dict[str, str] = {
+    "unjustified-suppression": (
+        "every suppression of an analyze rule must say *why* it is safe "
+        "(append ' -- <reason>' to the disable comment)"
+    ),
+    "manifest-drift": (
+        "the committed analyze-manifest.json must be byte-identical to a "
+        "fresh regeneration"
+    ),
+    "manifest-missing": (
+        "the partition-safety manifest must exist and be committed"
+    ),
+    "epoch-cdg-cycle": (
+        "the multicast-extended channel dependency graph must stay acyclic "
+        "at every routing epoch a fault schedule reaches"
+    ),
+    "epoch-reachability": (
+        "down-port reachability strings must cover BFS-tree descendants at "
+        "every routing epoch"
+    ),
+    "epoch-disconnect": (
+        "every scheduled fault must leave the switch graph connected "
+        "(otherwise reconfiguration cannot absorb it)"
+    ),
+    "epoch-corpus-unreadable": (
+        "every committed corpus entry must load as a valid scenario"
+    ),
+}
+"""Findings the analyze engine emits itself (no lint-registry entry)."""
+
+
+def render_text(result: AnalysisResult) -> str:
+    """Human-readable report: one line per finding plus a summary."""
+    lines = [f.render() for f in result.findings]
+    modules = result.manifest.get("modules", {})
+    classes: dict[str, int] = {}
+    for entry in modules.values():
+        key = entry["classification"]
+        classes[key] = classes.get(key, 0) + 1
+    class_summary = ", ".join(
+        f"{n} {name}" for name, n in sorted(classes.items())
+    ) or "none"
+    epochs = sum(result.epochs_verified.values())
+    summary = (
+        f"{result.files_scanned} file(s), {len(modules)} sim module(s) "
+        f"classified ({class_summary}), "
+        f"{len(result.epochs_verified)} corpus entr(ies) / {epochs} "
+        f"epoch(s) verified: {len(result.errors)} error(s)"
+    )
+    if result.suppressed:
+        summary += f", {result.suppressed} suppressed"
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(result: AnalysisResult) -> str:
+    """Stable machine-readable report for CI consumption."""
+    payload = {
+        "version": 1,
+        "files_scanned": result.files_scanned,
+        "suppressed": result.suppressed,
+        "counts": {
+            "error": len(result.errors),
+            "warning": sum(
+                1 for f in result.findings if f.severity is Severity.WARNING
+            ),
+        },
+        "findings": [f.to_json() for f in result.findings],
+        "manifest": result.manifest,
+        "epochs_verified": result.epochs_verified,
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def render_rule_list() -> str:
+    """``--list-rules``: the analyzer rules plus the engine's own checks."""
+    from repro.analyze.engine import ANALYZE_RULES
+    from repro.lint.registry import all_rules
+
+    blocks = []
+    registry = all_rules()
+    for rule_id in sorted(ANALYZE_RULES):
+        r = registry[rule_id]
+        scope = "all code" if r.scopes is None else "/".join(sorted(r.scopes))
+        blocks.append(
+            f"{rule_id} [{r.kind}, {r.severity.value}, scope: {scope}]\n"
+            f"  {r.description}\n"
+            f"  why: {r.rationale}"
+        )
+    for rule_id, description in sorted(META_RULES.items()):
+        blocks.append(f"{rule_id} [analyze, error]\n  {description}")
+    return "\n\n".join(blocks)

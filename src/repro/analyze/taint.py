@@ -1,0 +1,355 @@
+"""Determinism taint analysis: unordered iteration must not reach the engine.
+
+The byte-identical-trace contract (DESIGN.md §6) rests on every event being
+scheduled, traced, and seeded in an order that is a pure function of the
+inputs.  ``set``/``frozenset`` iteration order is *not* such a function --
+it depends on insertion history and on the hash seeds of the stored objects
+-- so any flow from an unordered collection into the discrete-event engine
+(:meth:`Engine.at`/:meth:`Engine.after`), the trace log
+(:meth:`TraceLog.emit`), an arbitration heap (``heapq.heappush``) or a cell
+seed (``derive_seed``) is a latent nondeterminism bug, even when today's
+CPython happens to iterate small int sets in sorted order.
+
+**Sources**: set/frozenset displays, comprehensions and constructor calls;
+set algebra (``|``/``&``/``-``/``^`` and ``.union()``-family methods);
+calls to project functions that return sets (propagated through the
+project index); any *ordered* container built by iterating one of the
+above (``list(s)``, ``[f(x) for x in s]`` -- the order is still tainted).
+
+**Sinks**: ``.at(...)`` / ``.after(...)`` (event scheduling),
+``.emit(...)`` (trace records), ``heapq.heappush`` (arbitration queues),
+``derive_seed(...)`` (cell-seed derivation).  A sink fires when a tainted
+value is passed as an argument *or* when the sink call sits lexically
+inside a ``for`` loop whose iterable is tainted (the classic "schedule one
+event per set element" pattern).
+
+**Laundering**: wrapping in ``sorted(...)`` -- the idiom used throughout
+``routing/`` (e.g. ``deadlock.py``'s ``sorted(..., key=lambda lk:
+lk.link_id)``) -- or folding through an order-insensitive reduction
+(``sum``/``min``/``max``/``len``/``any``/``all`` or a commutative bit-mask
+accumulation) clears the taint.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+
+from repro.analyze.project import FunctionInfo, ProjectIndex, dotted_name
+
+SINK_METHODS = {"at", "after", "emit"}
+"""Attribute-call sinks: engine scheduling and trace emission."""
+
+SINK_FUNCTIONS = {"heappush", "derive_seed"}
+"""Bare-name call sinks: arbitration heaps and cell-seed derivation."""
+
+LAUNDER_FUNCTIONS = {
+    "sorted", "min", "max", "sum", "len", "any", "all", "frozenset_mask",
+}
+"""Calls whose result does not depend on the argument's iteration order."""
+
+UNORDERED_CTORS = {"set", "frozenset"}
+
+UNORDERED_SET_METHODS = {
+    "union", "intersection", "difference", "symmetric_difference", "copy",
+}
+"""Methods that return another unordered set when called on one."""
+
+ORDER_PRESERVING_CTORS = {"list", "tuple", "iter", "reversed", "enumerate"}
+"""Calls that materialise their argument's (possibly tainted) order."""
+
+
+@dataclass(frozen=True)
+class TaintFlow:
+    """One unordered-source -> deterministic-sink flow."""
+
+    path: str
+    line: int
+    col: int
+    sink: str
+    source: str
+
+    def message(self) -> str:
+        return (
+            f"unordered iteration order reaches {self.sink}: {self.source}; "
+            "launder through sorted(..., key=...) before it touches "
+            "scheduling, tracing, or seed derivation"
+        )
+
+
+def returns_unordered(index: ProjectIndex) -> tuple[set[str], set[str]]:
+    """Project functions (and method names) whose return value is a set.
+
+    Determined from return annotations naming ``set``/``frozenset`` and from
+    return statements whose expression is syntactically unordered.  Returns
+    ``(quals, method_names)``; the name set lets attribute calls that the
+    call graph could not resolve still count as sources.
+    """
+    quals: set[str] = set()
+    names: set[str] = set()
+    for qual in sorted(index.functions):
+        fn = index.functions[qual]
+        ann = fn.node.returns
+        ann_text = ""
+        if isinstance(ann, ast.Constant) and isinstance(ann.value, str):
+            ann_text = ann.value
+        elif ann is not None:
+            ann_text = dotted_name(ann) or ""
+        head = ann_text.split("[")[0].rsplit(".", 1)[-1].strip()
+        is_set = head in ("set", "frozenset", "Set", "FrozenSet", "AbstractSet")
+        if not is_set:
+            for node in ast.walk(fn.node):
+                if isinstance(node, ast.Return) and node.value is not None:
+                    if _syntactically_unordered(node.value):
+                        is_set = True
+                        break
+        if is_set:
+            quals.add(qual)
+            names.add(fn.name)
+    return quals, names
+
+
+def _syntactically_unordered(node: ast.AST) -> bool:
+    """Unordered by construction, with no name environment."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        name = dotted_name(node.func)
+        if name is not None and name.rsplit(".", 1)[-1] in UNORDERED_CTORS:
+            return True
+        if isinstance(node.func, ast.Attribute) \
+                and node.func.attr in UNORDERED_SET_METHODS:
+            return _syntactically_unordered(node.func.value)
+    if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.BitOr, ast.BitAnd, ast.BitXor, ast.Sub)):
+        return (_syntactically_unordered(node.left)
+                and _syntactically_unordered(node.right))
+    return False
+
+
+class _FunctionTaint:
+    """Flow analysis over one function body."""
+
+    def __init__(
+        self,
+        index: ProjectIndex,
+        fn: FunctionInfo,
+        unordered_quals: set[str],
+        unordered_names: set[str],
+    ) -> None:
+        self.index = index
+        self.fn = fn
+        self.unordered_quals = unordered_quals
+        self.unordered_names = unordered_names
+        self.env: dict[str, str] = {}
+        """Tainted local name -> human-readable source description."""
+
+        self.flows: list[TaintFlow] = []
+        self._callee_by_line: dict[tuple[int, int], str] = {}
+        for site in index.calls.get(fn.qual, ()):
+            if site.callee is not None:
+                self._callee_by_line.setdefault(
+                    (site.lineno, 0), site.callee)
+
+    # -- expression classification -------------------------------------
+    def taint_of(self, node: ast.AST) -> str | None:
+        """Source description if the expression's order/content is tainted."""
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return "set display"
+        if isinstance(node, ast.Name):
+            return self.env.get(node.id)
+        if isinstance(node, ast.IfExp):
+            return self.taint_of(node.body) or self.taint_of(node.orelse)
+        if isinstance(node, ast.BinOp) and isinstance(
+                node.op, (ast.BitOr, ast.BitAnd, ast.BitXor, ast.Sub)):
+            left = self.taint_of(node.left)
+            right = self.taint_of(node.right)
+            if left and right:
+                return left
+            # Set algebra with one syntactic set operand taints the result
+            # even when the other side's type is unknown.
+            if left and _syntactically_unordered(node.right):
+                return left
+            if right and _syntactically_unordered(node.left):
+                return right
+            return None
+        if isinstance(node, (ast.ListComp, ast.GeneratorExp)):
+            for gen in node.generators:
+                src = self._iter_taint(gen.iter)
+                if src is not None:
+                    return f"comprehension over {src}"
+            return None
+        if isinstance(node, ast.Starred):
+            return self.taint_of(node.value)
+        if isinstance(node, ast.Call):
+            return self._call_taint(node)
+        return None
+
+    def _call_taint(self, node: ast.Call) -> str | None:
+        name = dotted_name(node.func)
+        short = name.rsplit(".", 1)[-1] if name is not None else None
+        if short in LAUNDER_FUNCTIONS:
+            return None
+        if short in UNORDERED_CTORS:
+            return f"{short}(...)"
+        if short in ORDER_PRESERVING_CTORS:
+            for arg in node.args:
+                src = self._iter_taint(arg)
+                if src is not None:
+                    return f"{short}() over {src}"
+            return None
+        if isinstance(node.func, ast.Attribute):
+            if node.func.attr in UNORDERED_SET_METHODS:
+                src = self._iter_taint(node.func.value)
+                if src is not None or _syntactically_unordered(node.func.value):
+                    return f".{node.func.attr}() on {src or 'a set'}"
+            if node.func.attr in self.unordered_names:
+                return f"{node.func.attr}() (returns a set)"
+        callee = self._callee_by_line.get(
+            (getattr(node, "lineno", 0), 0))
+        if callee in self.unordered_quals:
+            return f"{callee.split(':')[-1]}() (returns a set)"
+        if isinstance(node.func, ast.Name) \
+                and node.func.id in self.unordered_names:
+            return f"{node.func.id}() (returns a set)"
+        return None
+
+    def _iter_taint(self, node: ast.AST) -> str | None:
+        """Taint of iterating this expression (order-sensitive contexts)."""
+        return self.taint_of(node)
+
+    # -- statement walk ------------------------------------------------
+    def run(self) -> list[TaintFlow]:
+        # Fixpoint over assignments so use-before-def ordering (helpers
+        # defined below their callers, loops feeding accumulators) settles.
+        for _ in range(4):
+            before = dict(self.env)
+            self._collect_assignments(self.fn.node.body)
+            if self.env == before:
+                break
+        self._walk(self.fn.node.body, loop_taints=[])
+        return self.flows
+
+    def _collect_assignments(self, body: list[ast.stmt]) -> None:
+        for stmt in body:
+            for node in ast.walk(stmt):
+                if isinstance(node, ast.Assign):
+                    src = self.taint_of(node.value)
+                    for t in node.targets:
+                        if isinstance(t, ast.Name):
+                            if src is not None:
+                                self.env[t.id] = src
+                            elif t.id in self.env and \
+                                    not self._still_tainted(node.value):
+                                del self.env[t.id]
+                elif isinstance(node, ast.AnnAssign) and node.value is not None \
+                        and isinstance(node.target, ast.Name):
+                    src = self.taint_of(node.value)
+                    if src is not None:
+                        self.env[node.target.id] = src
+                elif isinstance(node, ast.For):
+                    self._collect_accumulators(node)
+
+    def _still_tainted(self, value: ast.AST) -> bool:
+        return self.taint_of(value) is not None
+
+    def _collect_accumulators(self, loop: ast.For) -> None:
+        """A container filled inside a tainted-order loop is itself tainted."""
+        src = self._iter_taint(loop.iter)
+        if src is None:
+            return
+        for node in ast.walk(loop):
+            if isinstance(node, ast.Call) \
+                    and isinstance(node.func, ast.Attribute) \
+                    and node.func.attr in ("append", "extend", "insert") \
+                    and isinstance(node.func.value, ast.Name):
+                self.env[node.func.value.id] = (
+                    f"accumulation inside loop over {src}")
+            elif isinstance(node, (ast.Assign, ast.AugAssign)):
+                targets = node.targets if isinstance(node, ast.Assign) \
+                    else [node.target]
+                for t in targets:
+                    if isinstance(t, ast.Subscript) \
+                            and isinstance(t.value, ast.Name):
+                        self.env[t.value.id] = (
+                            f"keyed insertion inside loop over {src}")
+
+    def _walk(self, body: list[ast.stmt], loop_taints: list[str]) -> None:
+        for stmt in body:
+            if isinstance(stmt, (ast.For, ast.AsyncFor)):
+                src = self._iter_taint(stmt.iter)
+                inner = loop_taints + ([src] if src is not None else [])
+                self._check_calls_in(stmt.iter, loop_taints)
+                self._walk(stmt.body, inner)
+                self._walk(stmt.orelse, loop_taints)
+            elif isinstance(stmt, (ast.If, ast.While)):
+                self._check_calls_in(stmt.test, loop_taints)
+                self._walk(stmt.body, loop_taints)
+                self._walk(stmt.orelse, loop_taints)
+            elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+                self._walk(stmt.body, loop_taints)
+            elif isinstance(stmt, ast.Try):
+                self._walk(stmt.body, loop_taints)
+                for h in stmt.handlers:
+                    self._walk(h.body, loop_taints)
+                self._walk(stmt.orelse, loop_taints)
+                self._walk(stmt.finalbody, loop_taints)
+            elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                # Nested defs (steer closures) execute later but inherit the
+                # lexical environment; loop context does not apply to them.
+                self._walk(stmt.body, [])
+            else:
+                self._check_calls_in(stmt, loop_taints)
+
+    def _check_calls_in(
+        self, node: ast.AST, loop_taints: list[str]
+    ) -> None:
+        for call in ast.walk(node):
+            if not isinstance(call, ast.Call):
+                continue
+            sink = self._sink_name(call)
+            if sink is None:
+                continue
+            tainted_arg = None
+            for arg in list(call.args) + [kw.value for kw in call.keywords]:
+                tainted_arg = self.taint_of(arg)
+                if tainted_arg is not None:
+                    break
+            source = tainted_arg
+            if source is None and loop_taints:
+                source = f"sink inside loop over {loop_taints[-1]}"
+            if source is not None:
+                self.flows.append(TaintFlow(
+                    path=self.fn.path,
+                    line=getattr(call, "lineno", self.fn.lineno),
+                    col=getattr(call, "col_offset", 0),
+                    sink=sink,
+                    source=source,
+                ))
+
+    def _sink_name(self, call: ast.Call) -> str | None:
+        func = call.func
+        if isinstance(func, ast.Attribute) and func.attr in SINK_METHODS:
+            base = dotted_name(func.value) or "<expr>"
+            return f"{base}.{func.attr}()"
+        name = dotted_name(func)
+        if name is not None and name.rsplit(".", 1)[-1] in SINK_FUNCTIONS:
+            return f"{name}()"
+        return None
+
+
+def analyze_taint(
+    index: ProjectIndex, modules: list[str] | None = None
+) -> list[TaintFlow]:
+    """Run the taint analysis over (a subset of) the indexed modules."""
+    unordered_quals, unordered_names = returns_unordered(index)
+    flows: list[TaintFlow] = []
+    for qual in sorted(index.functions):
+        fn = index.functions[qual]
+        if modules is not None and fn.module not in modules:
+            continue
+        flows.extend(
+            _FunctionTaint(index, fn, unordered_quals, unordered_names).run()
+        )
+    flows.sort(key=lambda f: (f.path, f.line, f.col, f.sink))
+    return flows

@@ -17,6 +17,10 @@ every fuzz scenario:
 * **plan-static** -- the path scheme's worm/phase plan passes
   :func:`repro.multicast.pathworm.verify_plan`; the tree scheme's turn
   switch really down-covers the destination set;
+* **epoch-static** -- for scenarios with a fault schedule: the
+  epoch-sequence verifier (:mod:`repro.analyze.epochs`) statically proves
+  CDG acyclicity and reachability completeness at every routing epoch the
+  schedule reaches, before any dynamic replay is attempted;
 * **header** -- the bit-string header round-trips and fits the configured
   packet (the lint model rule's capacity formula, checked dynamically);
 * **reachability** -- the reachability table is internally consistent: the
@@ -84,6 +88,7 @@ ORACLES = (
     "quiescence",
     "hop-legality",
     "plan-static",
+    "epoch-static",
     "header",
     "reachability",
     "conservation",
@@ -471,6 +476,18 @@ def run_oracles(scenario: FuzzScenario) -> ScenarioReport:
     """Run every oracle on one scenario; the full differential pass."""
     report = ScenarioReport(scenario=scenario)
     _check_topology(scenario, report.violations)
+
+    # epoch-static: before any dynamic replay, statically prove the fault
+    # schedule keeps the multicast CDG acyclic and the reachability strings
+    # complete at every routing epoch it reaches.  A schedule that is
+    # provably unsafe would make the dynamic chaos run's failures
+    # uninterpretable, so it is caught here first.
+    if scenario.fault_schedule:
+        from repro.analyze.epochs import verify_scenario_epochs
+
+        for problem in verify_scenario_epochs(scenario):
+            report.violations.append(Violation(
+                "epoch-static", "topology", problem.message()))
 
     for spec in scenario.schemes:
         deliveries, violations = run_scheme(scenario, spec)

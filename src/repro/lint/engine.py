@@ -10,13 +10,20 @@ from __future__ import annotations
 import pathlib
 from dataclasses import dataclass, field
 
-# Importing the rule modules populates the registry.
+# Importing the rule modules populates the registry.  The analyze bridge
+# (repro.analyze.rules) also registers whole-program analyzers as lint
+# rules, but is imported lazily in run_lint(): repro.analyze itself imports
+# this package, so an eager import here would be circular.
 import repro.lint.code_rules  # noqa: F401
 import repro.lint.project_rules  # noqa: F401
 from repro.lint.findings import Finding, Severity
 from repro.lint.registry import CODE_RULES, PROJECT_RULES, rule_applies
 from repro.lint.sources import ParsedFile, collect_py_files, parse_file
-from repro.lint.suppress import is_suppressed, parse_suppressions
+from repro.lint.suppress import (
+    is_suppressed,
+    parse_suppressions,
+    statement_anchors,
+)
 
 
 class LintUsageError(Exception):
@@ -46,11 +53,14 @@ def _run_code_rules(
 ) -> None:
     for pf in files.values():
         suppressions = parse_suppressions(pf.source)
+        anchors = statement_anchors(pf.tree)
         for r in CODE_RULES.values():
             if not rule_applies(r, pf.scope):
                 continue
             for finding in r.check(pf.tree, pf.path, pf.scope):
-                if is_suppressed(suppressions, finding.rule, finding.line):
+                if is_suppressed(
+                    suppressions, finding.rule, finding.line, anchors
+                ):
                     result.suppressed += 1
                 else:
                     result.findings.append(finding)
@@ -62,10 +72,16 @@ def _run_project_rules(
     by_path_suppressions = {
         pf.path: parse_suppressions(pf.source) for pf in files.values()
     }
+    by_path_anchors = {
+        pf.path: statement_anchors(pf.tree) for pf in files.values()
+    }
     for r in PROJECT_RULES.values():
         for finding in r.check(files):
             supp = by_path_suppressions.get(finding.path, {})
-            if is_suppressed(supp, finding.rule, finding.line):
+            if is_suppressed(
+                supp, finding.rule, finding.line,
+                by_path_anchors.get(finding.path),
+            ):
                 result.suppressed += 1
             else:
                 result.findings.append(finding)
@@ -86,6 +102,11 @@ def run_lint(
     files.  Model imports stay lazy so source-only linting never pulls in
     the simulator.
     """
+    # Registers the whole-program analyzer rules (taint, partition safety)
+    # so one lint invocation runs both passes; see the module docstring for
+    # why this import cannot be top-level.
+    import repro.analyze.rules  # noqa: F401
+
     result = LintResult()
     files: dict[str, ParsedFile] = {}
     for path in collect_py_files(paths):

@@ -45,6 +45,7 @@ def render_json(result: LintResult) -> str:
 
 def render_rule_list() -> str:
     """``--list-rules``: id, kind, scope, and the paper-tied rationale."""
+    import repro.analyze.rules  # noqa: F401  (registers the analyzer rules)
     import repro.lint.model_rules  # noqa: F401  (registers the model rules)
 
     blocks = []

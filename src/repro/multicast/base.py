@@ -2,9 +2,8 @@
 
 from __future__ import annotations
 
-from __future__ import annotations
-
 import abc
+import weakref
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -78,22 +77,31 @@ class MulticastScheme(abc.ABC):
 
     def enable_plan_cache(self) -> None:
         """Turn on plan memoisation for this scheme instance."""
-        self._plan_cache: dict = {}
+        self._plan_cache: "weakref.WeakKeyDictionary[SimNetwork, dict]" = (
+            weakref.WeakKeyDictionary()
+        )
 
     def _cached_plan(self, net: SimNetwork, key: tuple, compute):
         """Memoise ``compute()`` under (network, epoch, key) if caching is on.
 
-        The routing epoch is part of the key so an Autonet-style runtime
+        Plans live in a per-network dict inside a weak-keyed mapping: the
+        network object itself is the outer key (never ``id(net)``, whose
+        integer can be reused by a later allocation once a network is
+        collected), and dropping a network drops its plans.  The routing
+        epoch is part of the inner key so an Autonet-style runtime
         reconfiguration (see :meth:`SimNetwork.reconfigure`) invalidates
         every plan cached on the pre-fault orientation.
         """
         cache = getattr(self, "_plan_cache", None)
         if cache is None:
             return compute()
-        full_key = (id(net), net.routing_epoch, key)
-        if full_key not in cache:
-            cache[full_key] = compute()
-        return cache[full_key]
+        per_net = cache.get(net)
+        if per_net is None:
+            per_net = cache[net] = {}
+        full_key = (net.routing_epoch, key)
+        if full_key not in per_net:
+            per_net[full_key] = compute()
+        return per_net[full_key]
 
     @abc.abstractmethod
     def execute(

@@ -281,8 +281,11 @@ class Worm:
         ground truth the fuzz oracles audit: every root-to-leaf chain must
         be a contiguous legal up*/down* route ending in a delivery channel.
         """
-        index = {id(h): i for i, h in enumerate(self._hops)}
-        return [
+        # Transient identity->index map: every hop is kept alive by
+        # self._hops for the whole comprehension (no id reuse window), and
+        # only the stable creation-order index leaves this method.
+        index = {id(h): i for i, h in enumerate(self._hops)}  # lint: disable=identity-in-sim -- hops pinned by self._hops; only indices escape
+        return [  # lint: disable=identity-in-sim -- same transient map, same pinned hops
             (None if h.parent is None else index[id(h.parent)], h.channel)
             for h in self._hops
         ]
@@ -369,7 +372,10 @@ class Worm:
         """
         if hop.h is None:
             raise _NotFinal(hop)
-        key = (id(hop), idx)
+        # The memo dict lives only for one tail-time computation and every
+        # hop in it is pinned by the replication tree, so identities are
+        # stable for the memo's whole lifetime and never escape it.
+        key = (id(hop), idx)  # lint: disable=identity-in-sim -- memo is call-local; hops pinned by the tree
         cached = memo.get(key)
         if cached is not None:
             return cached

@@ -172,13 +172,13 @@ class TestReconfiguration:
         scheme.enable_plan_cache()
         scheme.execute(net, 0, [3, 5])
         net.run()
-        keys_before = set(scheme._plan_cache)
+        keys_before = set(scheme._plan_cache[net])
         net.reconfigure(net.topo)  # manual epoch bump, same topology
         scheme.execute(net, 0, [3, 5])
         net.run()
-        fresh = set(scheme._plan_cache) - keys_before
+        fresh = set(scheme._plan_cache[net]) - keys_before
         assert fresh, "reconfiguration must invalidate cached plans"
-        assert all(k[1] == net.routing_epoch for k in fresh)
+        assert all(k[0] == net.routing_epoch for k in fresh)
 
 
 # ----------------------------------------------------------------------

@@ -1,5 +1,6 @@
 """Tests for the software-tree scheme family and plan caching."""
 
+import gc
 import random
 
 import pytest
@@ -86,21 +87,35 @@ class TestPlanCache:
         dests = [4, 9, 13]
         r1 = scheme.execute(net, 0, dests)
         net.run()
-        key = (id(net), net.routing_epoch, ("mdp", 0, tuple(dests)))
-        assert key in scheme._plan_cache
-        plan_obj = scheme._plan_cache[key]
+        key = (net.routing_epoch, ("mdp", 0, tuple(dests)))
+        assert key in scheme._plan_cache[net]
+        plan_obj = scheme._plan_cache[net][key]
         r2 = scheme.execute(net, 0, dests)
         net.run()
-        assert scheme._plan_cache[key] is plan_obj
+        assert scheme._plan_cache[net][key] is plan_obj
         assert r1.complete and r2.complete
 
     def test_cache_is_per_network(self):
         scheme = make_scheme("tree")
         scheme.enable_plan_cache()
-        for seed in (3, 4):
-            net = default_net(seed=seed)
+        nets = [default_net(seed=s) for s in (3, 4)]
+        for net in nets:
             res = scheme.execute(net, 0, [5, 9])
             net.run()
             assert res.complete
-        nets_seen = {k[0] for k in scheme._plan_cache}
-        assert len(nets_seen) == 2
+        assert set(scheme._plan_cache) == set(nets)
+
+    def test_cache_drops_collected_networks(self):
+        # The cache keys on the network object itself (weakly), not id(net):
+        # a collected network's plans must vanish instead of lingering under
+        # an id that a later allocation could reuse.
+        scheme = make_scheme("tree")
+        scheme.enable_plan_cache()
+        nets = [default_net(seed=s) for s in (3, 4)]
+        for net in nets:
+            scheme.execute(net, 0, [5, 9])
+            net.run()
+        assert len(scheme._plan_cache) == 2
+        del nets[0], net
+        gc.collect()
+        assert len(scheme._plan_cache) == 1
