@@ -1,0 +1,199 @@
+"""Sharded-runner scaling sweep: serial vs inline vs process-parallel.
+
+Extends the fig07-style switch axis to 512-1024 switches -- scales the
+single-process simulator cannot sweep comfortably -- and records, per
+(switch count, shard count):
+
+* wall-clock times for the serial reference, the inline sharded backend
+  and the process-parallel backend (the latter two are byte-identical by
+  construction; the bench asserts it);
+* the window-protocol overheads (rounds, boundary messages);
+* the per-shard event split and the load-balance speedup bound
+  ``sum(events) / max(events)`` -- the parallelism the partition exposes,
+  which the process backend converts to wall-clock speedup when cores are
+  available (``cpu_count`` is recorded so single-core CI numbers are not
+  mistaken for the protocol's ceiling).
+
+Run directly to produce the pinned sweep artifact::
+
+    PYTHONPATH=src python benchmarks/bench_shard.py [-o BENCH_shard.json]
+
+The ``smoke`` tests at the bottom are the CI shard regression baseline:
+a reduced 64-switch scenario where the process backend must reproduce the
+inline backend's merged trace digest byte-for-byte, plus timings for the
+artifact history (CI runs ``pytest benchmarks/bench_shard.py -k smoke
+--benchmark-json=...``).
+"""
+
+import argparse
+import json
+import os
+import time
+
+from repro.shard import ShardSimulation, run_serial, seeded_scenario
+from repro.shard.procpool import ProcShardSimulation
+
+SWEEP_SWITCHES = (128, 256, 512, 1024)
+SWEEP_SHARDS = (1, 2, 4, 8)
+
+
+def sweep_scenario(num_switches: int):
+    """One 64-worm multidestination scenario per system size.
+
+    ``link_delay = switch_delay = 16`` widens the conservative lookahead
+    window to 32 cycles, amortizing each synchronization barrier over more
+    simulated work -- the regime the sharded runner targets.
+    """
+    return seeded_scenario(
+        num_switches,
+        64,
+        11,
+        hosts_per_switch=2,
+        packet_flits=256,
+        fanout=6,
+        spacing=8,
+        link_delay=16,
+        switch_delay=16,
+    )
+
+
+def run_sweep(
+    switches=SWEEP_SWITCHES, shard_counts=SWEEP_SHARDS
+) -> dict:
+    results = []
+    for num_switches in switches:
+        t0 = time.perf_counter()
+        scen = sweep_scenario(num_switches)
+        build_s = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        deliveries, _trace = run_serial(scen)
+        serial_s = time.perf_counter() - t0
+
+        entry = {
+            "num_switches": num_switches,
+            "num_jobs": len(scen.jobs),
+            "scenario_build_s": round(build_s, 3),
+            "serial_s": round(serial_s, 3),
+            "deliveries": len(deliveries),
+            "shards": [],
+        }
+        for shards in shard_counts:
+            t0 = time.perf_counter()
+            inline = ShardSimulation(scen, shards).run()
+            inline_s = time.perf_counter() - t0
+
+            t0 = time.perf_counter()
+            proc = ProcShardSimulation(scen, shards).run()
+            proc_s = time.perf_counter() - t0
+
+            if proc.digest != inline.digest:  # backends must agree
+                raise AssertionError(
+                    f"process backend diverged from inline at "
+                    f"{num_switches} switches / {shards} shards"
+                )
+            events = proc.events_per_shard
+            balance_bound = (
+                sum(events) / max(events) if max(events) else 1.0
+            )
+            entry["shards"].append(
+                {
+                    "shards": shards,
+                    "inline_s": round(inline_s, 3),
+                    "proc_s": round(proc_s, 3),
+                    "wall_speedup_vs_serial": round(serial_s / proc_s, 3),
+                    "balance_speedup_bound": round(balance_bound, 3),
+                    "rounds": proc.rounds,
+                    "messages": proc.messages,
+                    "events_per_shard": list(events),
+                    "boundary_links": len(proc.plan.boundary_links),
+                    "canonical_digest": proc.canonical,
+                }
+            )
+        results.append(entry)
+    return {
+        "bench": "shard-scaling",
+        "cpu_count": os.cpu_count(),
+        "note": (
+            "wall_speedup_vs_serial needs cores >= shards to approach "
+            "balance_speedup_bound; on fewer cores it measures protocol "
+            "overhead, not the parallelism ceiling"
+        ),
+        "results": results,
+    }
+
+
+# ----------------------------------------------------------------------
+# CI smoke baseline: reduced 64-switch scenario
+# ----------------------------------------------------------------------
+def _smoke_scenario():
+    return seeded_scenario(
+        64,
+        16,
+        11,
+        hosts_per_switch=2,
+        packet_flits=128,
+        fanout=4,
+        spacing=16,
+        link_delay=16,
+        switch_delay=16,
+    )
+
+
+def test_smoke_proc_backend_byte_identical_to_inline():
+    scen = _smoke_scenario()
+    inline = ShardSimulation(scen, 2).run()
+    proc = ProcShardSimulation(scen, 2).run()
+    assert proc.digest == inline.digest
+    assert proc.deliveries == inline.deliveries
+    assert proc.messages == inline.messages
+
+
+def test_smoke_serial_speed(benchmark):
+    scen = _smoke_scenario()
+    res = benchmark.pedantic(
+        lambda: run_serial(scen), rounds=3, iterations=1
+    )
+    assert len(res[0]) == 16 * 4
+
+
+def test_smoke_sharded_speed(benchmark):
+    scen = _smoke_scenario()
+    res = benchmark.pedantic(
+        lambda: ShardSimulation(scen, 2).run(), rounds=3, iterations=1
+    )
+    assert len(res.deliveries) == 16 * 4
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "-o", "--output", default="BENCH_shard.json",
+        help="where to write the sweep JSON (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--switches", type=int, nargs="+", default=list(SWEEP_SWITCHES),
+    )
+    parser.add_argument(
+        "--shards", type=int, nargs="+", default=list(SWEEP_SHARDS),
+    )
+    args = parser.parse_args()
+    payload = run_sweep(tuple(args.switches), tuple(args.shards))
+    with open(args.output, "w") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+    for entry in payload["results"]:
+        print(
+            f"{entry['num_switches']:>5} switches: "
+            f"serial {entry['serial_s']:.2f}s | "
+            + " | ".join(
+                f"{s['shards']}sh {s['proc_s']:.2f}s "
+                f"(bound {s['balance_speedup_bound']:.2f}x)"
+                for s in entry["shards"]
+            )
+        )
+    print(f"wrote {args.output}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,8 +1,9 @@
-"""Partition-safety certifier for the future sharded simulation.
+"""Partition-safety certifier for the sharded simulation.
 
-ROADMAP item 1 shards a 512--1024-switch network across worker partitions,
-each running its own :class:`SimNetwork` + :class:`Engine` pair under a
-Chandy--Misra-style conservative protocol.  That only works if the code a
+The sharded runner (``repro.shard``, docs/sharding.md) shards a
+512--1024-switch network across worker partitions, each running its own
+:class:`SimNetwork` + :class:`Engine` pair under a Chandy--Misra-style
+conservative protocol.  That only works if the code a
 worker executes cannot reach *shared* mutable state: module-level
 containers, class variables, or another partition's ``SimNetwork``.
 

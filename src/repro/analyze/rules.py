@@ -150,7 +150,8 @@ def check_unordered_into_sink(files: dict[str, ParsedFile]) -> list[Finding]:
         "state (outside the ExecutionContext API)"
     ),
     rationale=(
-        "ROADMAP item 1 shards the simulation across worker partitions; "
+        "the sharded runner (repro.shard) partitions the simulation across "
+        "workers; "
         "module globals are process-shared, so a runner-reachable write is "
         "a data race the moment cells run in threads or shards."
     ),

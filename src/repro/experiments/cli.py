@@ -57,7 +57,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
     for exp_id in ids:
         t0 = time.perf_counter()
         result, stats = run_experiment_with_stats(
-            exp_id, args.profile, jobs=args.jobs, cache_dir=cache_dir
+            exp_id,
+            args.profile,
+            jobs=args.jobs,
+            cache_dir=cache_dir,
+            shards=args.shards,
         )
         print(result.to_table())
         if stats.experiments_cached:
@@ -248,6 +252,16 @@ def main(argv: list[str] | None = None) -> int:
         default=1,
         metavar="N",
         help="worker processes for independent simulation cells (default: 1)",
+    )
+    runp.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        metavar="N",
+        help=(
+            "per-simulation shard budget for experiments built on the "
+            "sharded runner, e.g. shard-scaling (default: 1)"
+        ),
     )
     runp.add_argument(
         "--cache-dir",

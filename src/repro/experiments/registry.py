@@ -33,6 +33,7 @@ from repro.experiments import (
     fig09_load_ratio,
     fig10_load_switches,
     fig11_load_msglen,
+    shard_scaling,
 )
 from repro.experiments.base import ExperimentResult
 from repro.experiments.config import PROFILES, Profile
@@ -65,6 +66,7 @@ EXPERIMENTS: dict[str, Callable[[Profile], ExperimentResult]] = {
     "ablation-pathstrategy": ablation.run_path_strategy,
     "ablation-header": ablation.run_header_capacity,
     "ablation-fixedk": ablation.run_fixed_k,
+    "shard-scaling": shard_scaling.run,
 }
 
 PAPER_FIGURES = ("fig06", "fig07", "fig08", "fig09", "fig10", "fig11")
@@ -81,10 +83,20 @@ def _resolve_profile(profile: Profile | str) -> Profile:
     return profile
 
 
-def _experiment_digest(exp_id: str, profile: Profile) -> str:
-    """Content hash of a whole experiment run (id + profile + schema)."""
+def _experiment_digest(exp_id: str, profile: Profile, shards: int) -> str:
+    """Content hash of a whole experiment run (id + profile + schema).
+
+    ``shards`` is part of the identity: experiments decomposed over the
+    sharded runner sweep shard counts up to that budget, so the assembled
+    result depends on it (unlike ``jobs``, which never changes output).
+    """
     payload = json.dumps(
-        {"schema": SCHEMA_VERSION, "exp_id": exp_id, "profile": asdict(profile)},
+        {
+            "schema": SCHEMA_VERSION,
+            "exp_id": exp_id,
+            "profile": asdict(profile),
+            "shards": shards,
+        },
         sort_keys=True,
         separators=(",", ":"),
     )
@@ -92,12 +104,13 @@ def _experiment_digest(exp_id: str, profile: Profile) -> str:
 
 
 def _experiment_cache_path(
-    cache_dir: pathlib.Path, exp_id: str, profile: Profile
+    cache_dir: pathlib.Path, exp_id: str, profile: Profile, shards: int
 ) -> pathlib.Path:
+    digest = _experiment_digest(exp_id, profile, shards)
     return (
         cache_dir
         / "experiments"
-        / f"{exp_id}-{profile.name}-{_experiment_digest(exp_id, profile)[:16]}.json"
+        / f"{exp_id}-{profile.name}-{digest[:16]}.json"
     )
 
 
@@ -128,11 +141,14 @@ def run_experiment_with_stats(
     *,
     jobs: int = 1,
     cache_dir: str | pathlib.Path | None = None,
+    shards: int = 1,
 ) -> tuple[ExperimentResult, ExecutionStats]:
     """Run one experiment and report what was executed vs cache-served.
 
     ``jobs`` sets the worker-process count for cell-decomposed experiments;
-    ``cache_dir`` (None disables caching) roots both cache tiers.
+    ``cache_dir`` (None disables caching) roots both cache tiers; ``shards``
+    is the per-simulation shard budget for experiments built on the sharded
+    runner (and part of the cache identity, since it shapes their output).
     """
     profile = _resolve_profile(profile)
     try:
@@ -143,17 +159,19 @@ def run_experiment_with_stats(
         ) from None
 
     if cache_dir is None:
-        with execution_context(jobs=jobs) as ctx:
+        with execution_context(jobs=jobs, shards=shards) as ctx:
             return runner(profile), ctx.stats
 
     cache_root = pathlib.Path(cache_dir)
-    exp_path = _experiment_cache_path(cache_root, exp_id, profile)
+    exp_path = _experiment_cache_path(cache_root, exp_id, profile, shards)
     cached = _load_cached_experiment(exp_path)
     if cached is not None:
         stats = ExecutionStats(experiments_cached=1)
         return cached, stats
     cell_cache = CellCache(cache_root / "cells")
-    with execution_context(jobs=jobs, cache=cell_cache) as ctx:
+    with execution_context(
+        jobs=jobs, cache=cell_cache, shards=shards
+    ) as ctx:
         result = runner(profile)
     _store_cached_experiment(exp_path, result)
     return result, ctx.stats
@@ -165,9 +183,10 @@ def run_experiment(
     *,
     jobs: int = 1,
     cache_dir: str | pathlib.Path | None = None,
+    shards: int = 1,
 ) -> ExperimentResult:
     """Run one experiment by id; profile may be a name or a Profile."""
     result, _stats = run_experiment_with_stats(
-        exp_id, profile, jobs=jobs, cache_dir=cache_dir
+        exp_id, profile, jobs=jobs, cache_dir=cache_dir, shards=shards
     )
     return result

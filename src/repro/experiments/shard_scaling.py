@@ -1,0 +1,113 @@
+"""Shard-scaling sweep: fig07's switch axis extended to cluster scale.
+
+Figure 7 stops at 32 switches -- the scale a single-process simulation
+sweeps comfortably.  This experiment extends the axis to 512 (quick
+profile) / 1024 (full profile) switches by running each point through the
+window-synchronized sharded runner (:mod:`repro.shard`), one curve per
+shard count up to the execution context's ``--shards`` budget.
+
+Latency curves across shard counts overlay exactly whenever the scenario
+is free of same-cycle arbitration ties; each point's ``meta`` carries the
+run's canonical trace digest plus the window-protocol costs (rounds,
+boundary messages, cut size), so the scaling curve doubles as a
+determinism witness and a protocol-overhead profile.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.base import ExperimentResult, Series
+from repro.experiments.config import Profile
+from repro.experiments.runner import (
+    Cell,
+    current_context,
+    derive_seed,
+    execute_cells,
+)
+from repro.params import SimParams
+
+EXP_ID = "shard-scaling"
+
+QUICK_SWITCHES = (64, 128, 256, 512)
+FULL_SWITCHES = (64, 128, 256, 512, 1024)
+
+NUM_JOBS = 32
+FANOUT = 6
+SPACING = 8
+LINK_DELAY = 16
+SWITCH_DELAY = 16
+"""Wide, uniform crossing delays: lookahead ``W = 32`` cycles, the regime
+that amortizes each conservative barrier over substantial window work."""
+
+
+def _shard_counts(budget: int) -> tuple[int, ...]:
+    counts = [1]
+    while counts[-1] * 2 <= budget:
+        counts.append(counts[-1] * 2)
+    return tuple(counts)
+
+
+def run(profile: Profile, base: SimParams | None = None) -> ExperimentResult:
+    base = base or SimParams()
+    switches = FULL_SWITCHES if profile.name == "full" else QUICK_SWITCHES
+    shard_counts = _shard_counts(current_context().shards)
+    params = base.replace(
+        link_delay=LINK_DELAY, switch_delay=SWITCH_DELAY
+    )
+    knobs = (
+        ("num_jobs", NUM_JOBS),
+        ("fanout", FANOUT),
+        ("spacing", SPACING),
+    )
+    cells = [
+        Cell(
+            kind="shard",
+            exp_id=EXP_ID,
+            params=params.replace(
+                num_switches=s, num_nodes=s * 2
+            ),
+            scheme="static-multidest",
+            coords=(("switches", s), ("shards", k)),
+            knobs=knobs,
+            # The scheme-independent seed pairing rule: every shard count
+            # of one switch size shares the seed, so the curves are the
+            # same workload executed with different partition counts.
+            seed=derive_seed(profile.seed, EXP_ID, s),
+        )
+        for k in shard_counts
+        for s in switches
+    ]
+    values = execute_cells(cells)
+    series = []
+    for i, k in enumerate(shard_counts):
+        block = values[i * len(switches):(i + 1) * len(switches)]
+        series.append(
+            Series(
+                label=f"{k} shard{'s' if k > 1 else ''}",
+                x=[float(s) for s in switches],
+                y=[v["mean_latency"] for v in block],
+                meta={
+                    "shards": k,
+                    "points": [
+                        {
+                            "switches": s,
+                            "rounds": v["rounds"],
+                            "messages": v["messages"],
+                            "boundary_links": v["boundary_links"],
+                            "deliveries": v["deliveries"],
+                            "canonical_digest": v["canonical_digest"],
+                        }
+                        for s, v in zip(switches, block)
+                    ],
+                },
+            )
+        )
+    return ExperimentResult(
+        exp_id=EXP_ID,
+        title=(
+            "Sharded-runner scaling: switch count vs multicast latency "
+            "(fig07 axis extended to cluster scale)"
+        ),
+        x_label="switches",
+        y_label="mean delivery latency (cycles)",
+        series=series,
+    )

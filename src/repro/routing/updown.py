@@ -142,50 +142,52 @@ class UpDownRouting:
         S = self.topo.num_switches
         self._dist = [dict() for _ in range(S)]
         self._hops = [dict() for _ in range(S)]
-        # Forward BFS from every start state is O(S * states * edges); with the
-        # paper's scales (<= 32 switches) this is negligible, and it keeps the
-        # code obviously correct (cf. the optimization guide: make it work and
-        # tested before making it fast).
         states = [(s, p) for s in range(S) for p in (Phase.UP, Phase.DOWN)]
         trans = {st: self._legal_transitions(*st) for st in states}
+        # The per-destination backward BFS runs on flat integer state ids
+        # with the (destination-independent) reverse adjacency built once:
+        # at the sharded-runner scales (512-1024 switches) rebuilding the
+        # adjacency per destination and hashing (switch, Phase) tuples in
+        # the inner loops dominated table construction.  The enum-keyed
+        # dicts stay the external table format, and visit/append orders are
+        # unchanged, so the resulting tables are identical.
+        sid = {st: i for i, st in enumerate(states)}
+        rev: list[list[int]] = [[] for _ in states]
+        moves_of: list[list[tuple[Hop, int]]] = [[] for _ in states]
+        for st, moves in trans.items():
+            i = sid[st]
+            for lk, t, np_ in moves:
+                j = sid[(t, np_)]
+                moves_of[i].append((Hop(lk, t, np_), j))
+                rev[j].append(i)
         for dest in range(S):
-            # Backward BFS from the destination over reversed transitions.
-            dist: dict[tuple[int, Phase], int] = {
-                (dest, Phase.UP): 0,
-                (dest, Phase.DOWN): 0,
-            }
-            frontier = [(dest, Phase.UP), (dest, Phase.DOWN)]
-            # Build a reverse adjacency once per destination on the fly.
-            # (precomputing globally would be marginally faster; clarity wins)
-            rev: dict[tuple[int, Phase], list[tuple[int, Phase]]] = {st: [] for st in states}
-            for st, moves in trans.items():
-                for _lk, t, np_ in moves:
-                    rev[(t, np_)].append(st)
+            dist = [-1] * len(states)
+            up, down = sid[(dest, Phase.UP)], sid[(dest, Phase.DOWN)]
+            dist[up] = dist[down] = 0
+            frontier = [up, down]
             d = 0
             while frontier:
                 d += 1
-                nxt = []
-                for st in frontier:
-                    for pst in rev[st]:
-                        if pst not in dist:
-                            dist[pst] = d
-                            nxt.append(pst)
+                nxt: list[int] = []
+                for i in frontier:
+                    for p in rev[i]:
+                        if dist[p] < 0:
+                            dist[p] = d
+                            nxt.append(p)
                 frontier = nxt
-            for s in range(S):
-                for p in (Phase.UP, Phase.DOWN):
-                    st = (s, p)
-                    if st not in dist:
-                        continue
-                    self._dist[dest][st] = dist[st]
-                    if s == dest:
-                        self._hops[dest][st] = ()
-                        continue
-                    hops = tuple(
-                        Hop(lk, t, np_)
-                        for lk, t, np_ in trans[st]
-                        if dist.get((t, np_), -1) == dist[st] - 1
-                    )
-                    self._hops[dest][st] = hops
+            dest_dist = self._dist[dest]
+            dest_hops = self._hops[dest]
+            for i, st in enumerate(states):
+                if dist[i] < 0:
+                    continue
+                dest_dist[st] = dist[i]
+                if st[0] == dest:
+                    dest_hops[st] = ()
+                    continue
+                want = dist[i] - 1
+                dest_hops[st] = tuple(
+                    hop for hop, j in moves_of[i] if dist[j] == want
+                )
 
     def distance(self, src: int, dest: int, phase: Phase = Phase.UP) -> int:
         """Minimal legal hop count between switches from a given phase.

@@ -1,0 +1,37 @@
+"""Sharded parallel simulation with conservative time-window sync.
+
+Partitions the switch graph across workers (each a full
+:class:`~repro.sim.network.SimNetwork` replica simulating only its own
+channels), synchronizes them with Chandy-Misra-style conservative windows,
+and merges the per-shard traces into a digest byte-comparable with the
+single-process run.  See docs/sharding.md for the protocol and its
+lookahead proof.
+"""
+
+from repro.shard.coordinator import ShardRunResult, ShardSimulation
+from repro.shard.merge import canonical_digest, merge_traces
+from repro.shard.partition import ShardPlan, partition_switches
+from repro.shard.scenario import (
+    Job,
+    ShardScenario,
+    run_serial,
+    seeded_scenario,
+    smoke_scenario,
+)
+from repro.shard.worker import ShardReport, ShardWorker
+
+__all__ = [
+    "Job",
+    "ShardPlan",
+    "ShardReport",
+    "ShardRunResult",
+    "ShardScenario",
+    "ShardSimulation",
+    "ShardWorker",
+    "canonical_digest",
+    "merge_traces",
+    "partition_switches",
+    "run_serial",
+    "seeded_scenario",
+    "smoke_scenario",
+]

@@ -1,0 +1,218 @@
+"""Conservative time-window coordination of shard workers.
+
+:class:`ShardSimulation` drives N :class:`~repro.shard.worker.ShardWorker`
+replicas through Chandy-Misra-style conservative windows:
+
+1. **Exchange.**  Boundary envelopes produced in the previous window are
+   routed and applied at the current barrier (all workers' clocks agree).
+2. **Barrier.**  The next barrier is ``min_i(ne_i) + W`` -- the earliest
+   pending event anywhere plus the lookahead ``W`` (the minimum delay any
+   cross-shard influence is padded by; see
+   :meth:`~repro.shard.partition.ShardPlan.lookahead` and the proof in
+   docs/sharding.md) -- clipped to the next statically-known fault time.
+3. **Window.**  Every worker fires its events *strictly before* the
+   barrier (:meth:`Engine.run_window` is end-exclusive), so barrier-time
+   state -- fault processing, message effects -- is applied before any
+   barrier-time event, exactly as the serial injector's early-armed fault
+   events fire before same-time worm events.
+4. **Faults.**  Faults scheduled exactly at the barrier run as a
+   replicated two-phase transaction: every worker names its local victims,
+   the coordinator unions them in launch order, and every worker commits
+   the same mutation (worker 0 emitting the trace records).
+
+With no boundary links (or one shard) the lookahead is infinite and the
+loop degenerates to "run everything between fault times" -- the serial
+algorithm with extra steps, and provably message-free.
+
+The coordinator is backend-agnostic in protocol but this class runs the
+workers *inline* (one process, N engines).  The process-parallel backend
+(`repro.shard.procpool`) drives the identical protocol over pipes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.chaos.schedule import FaultSchedule
+from repro.shard.merge import canonical_digest, merge_traces
+from repro.shard.partition import ShardPlan, partition_switches
+from repro.shard.scenario import ShardScenario
+from repro.shard.worker import ShardWorker
+from repro.sim.tracelog import TraceLog
+
+
+@dataclass
+class ShardRunResult:
+    """Outcome of a sharded run, merged back to single-run shape."""
+
+    deliveries: dict[tuple[int, int], float]
+    trace: TraceLog
+    plan: ShardPlan
+    rounds: int
+    messages: int
+    events_per_shard: tuple[int, ...]
+
+    @property
+    def digest(self) -> str:
+        """Raw merged-trace digest: records in (time, phase, shard, seq)
+        order.  Byte-identical to the serial trace digest at one shard (and
+        whenever serial emits no interleaved same-time records from
+        different shards); partition-ordered otherwise."""
+        return self.trace.digest()
+
+    @property
+    def canonical(self) -> str:
+        """Content-canonical digest -- always byte-identical to
+        :func:`~repro.shard.merge.canonical_digest` of the serial trace
+        (see docs/sharding.md on trace ordering)."""
+        return canonical_digest(self.trace.records())
+
+
+class ShardSimulation:
+    """Run one :class:`ShardScenario` across ``num_shards`` workers."""
+
+    def __init__(
+        self,
+        scenario: ShardScenario,
+        num_shards: int,
+        partition_seed: int = 0,
+    ) -> None:
+        self.scenario = scenario
+        self.num_shards = num_shards
+        self.plan = partition_switches(
+            scenario.topo, num_shards, seed=partition_seed
+        )
+        self.workers = self._make_workers()
+
+    def _make_workers(self) -> list[ShardWorker]:
+        return [
+            ShardWorker(shard, self.scenario, self.plan)
+            for shard in range(self.num_shards)
+        ]
+
+    # ------------------------------------------------------------------
+    # Protocol loop
+    # ------------------------------------------------------------------
+    def run(self) -> ShardRunResult:
+        lookahead = self.plan.lookahead(self.scenario.params)
+        faults = list(
+            FaultSchedule.from_pairs(list(self.scenario.fault_pairs))
+        )
+        fault_i = 0
+        rounds = 0
+        messages = 0
+        pending: list = []  # envelopes drained at the previous advance
+        while True:
+            by_target: dict[int, list] = {}
+            for env in pending:
+                by_target.setdefault(env.target, []).append(env)
+            messages += len(pending)
+            next_events = self._sync_everywhere(by_target)
+            earliest = min(
+                (t for t in next_events if t is not None), default=None
+            )
+            next_fault = (
+                faults[fault_i].time if fault_i < len(faults) else None
+            )
+            if earliest is None and next_fault is None:
+                break
+            rounds += 1
+            barrier = self._barrier(lookahead, earliest, next_fault)
+            # barrier None: infinite lookahead with no faults left -- the
+            # shards are causally independent from here on, drain fully.
+            pending = self._advance_everywhere(barrier)
+            if barrier is not None:
+                while (
+                    fault_i < len(faults)
+                    and faults[fault_i].time == barrier  # lint: disable=float-time-eq -- barrier is clipped to exactly this float by _barrier's min()
+                ):
+                    self._process_fault(faults[fault_i].link_id)
+                    fault_i += 1
+        return self._collect(rounds, messages)
+
+    # ------------------------------------------------------------------
+    # Transport primitives (overridden by the process-pool backend)
+    # ------------------------------------------------------------------
+    def _sync_everywhere(
+        self, by_target: dict[int, list]
+    ) -> list[float | None]:
+        return [
+            w.sync(by_target.get(i, []))
+            for i, w in enumerate(self.workers)
+        ]
+
+    def _advance_everywhere(self, barrier: float | None) -> list:
+        envelopes = []
+        for worker in self.workers:
+            envelopes.extend(worker.advance(barrier))
+        return envelopes
+
+    def _prepare_fault_everywhere(self, link_id: int) -> list:
+        return [w.prepare_fault(link_id) for w in self.workers]
+
+    def _skip_fault_everywhere(self, link_id: int, reason: str) -> None:
+        for worker in self.workers:
+            worker.skip_fault(link_id, reason)
+
+    def _commit_fault_everywhere(
+        self, link_id: int, victims: list[int]
+    ) -> None:
+        for worker in self.workers:
+            worker.commit_fault(link_id, victims)
+
+    def _reports(self) -> list:
+        return [w.report() for w in self.workers]
+
+    def _pending_outboxes(self) -> int:
+        return sum(len(w.outbox) for w in self.workers)
+
+    @staticmethod
+    def _barrier(
+        lookahead: float,
+        earliest: float | None,
+        next_fault: float | None,
+    ) -> float | None:
+        """Next synchronization point, or None for an unbounded drain."""
+        if math.isinf(lookahead):
+            return next_fault
+        barrier = (
+            earliest + lookahead if earliest is not None else next_fault
+        )
+        if next_fault is not None:
+            barrier = min(barrier, next_fault)
+        return barrier
+
+    def _process_fault(self, link_id: int) -> None:
+        """Two-phase replicated fault at the current barrier time."""
+        verdicts = self._prepare_fault_everywhere(link_id)
+        if verdicts[0][0] == "skip":
+            assert all(v[0] == "skip" for v in verdicts), (
+                "workers disagree on fault validity -- replicas diverged"
+            )
+            self._skip_fault_everywhere(link_id, verdicts[0][1])
+            return
+        assert all(v[0] == "ok" for v in verdicts), (
+            "workers disagree on fault validity -- replicas diverged"
+        )
+        victims = sorted({gid for _ok, gids in verdicts for gid in gids})
+        self._commit_fault_everywhere(link_id, victims)
+
+    def _collect(self, rounds: int, messages: int) -> ShardRunResult:
+        reports = self._reports()
+        leftovers = self._pending_outboxes()
+        if leftovers:  # pragma: no cover - protocol safety
+            raise RuntimeError(
+                f"{leftovers} boundary message(s) were never delivered"
+            )
+        deliveries: dict[tuple[int, int], float] = {}
+        for rep in reports:
+            deliveries.update(rep.deliveries)
+        return ShardRunResult(
+            deliveries=deliveries,
+            trace=merge_traces(reports),
+            plan=self.plan,
+            rounds=rounds,
+            messages=messages,
+            events_per_shard=tuple(rep.events_fired for rep in reports),
+        )

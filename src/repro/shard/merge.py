@@ -1,0 +1,77 @@
+"""Canonical merge of per-shard trace logs.
+
+Every shard traces only what it simulates, with its own local emission
+sequence.  The merge re-emits all records into one fresh
+:class:`~repro.sim.tracelog.TraceLog` in the canonical order
+
+* fault-phase records (worker 0's "fault"/"fault-skip", per-victim
+  "abort", "reconfig") sort as ``(time, 0, emission_index)`` -- before
+  every same-time worm record, mirroring the serial injector's
+  early-armed, low-sequence fault events;
+* worm records sort as ``(time, 1, shard, local_seq)``.
+
+so the merged :meth:`TraceLog.digest` can be compared byte-for-byte with a
+single-process run of the same scenario.  The scheme reproduces the serial
+digest whenever same-time records from *different* shards are causally
+independent (the usual case -- see the determinism caveat in
+docs/sharding.md); the shard determinism suite pins the equality for the
+scenarios it ships.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.shard.worker import ShardReport
+from repro.sim.tracelog import TraceLog, TraceRecord
+
+
+def canonical_digest(records: list[TraceRecord]) -> str:
+    """SHA-256 over the records re-sorted by content: ``(time, worm, event,
+    detail)``.
+
+    Two traces share a canonical digest exactly when they contain the same
+    records at the same simulated times -- the order-insensitive face of
+    the byte-identity contract.  Sharded runs always reproduce the serial
+    run's canonical digest; the *raw* (emission-ordered) digest is
+    additionally byte-identical whenever no same-time records from
+    different shards interleave in the serial trace (see the determinism
+    caveat in docs/sharding.md).
+    """
+    h = hashlib.sha256()
+    for rec in sorted(
+        records, key=lambda r: (r.time, r.worm, r.event, r.detail)
+    ):
+        h.update(str(rec).encode())
+        h.update(b"\n")
+    return h.hexdigest()
+
+
+def merge_traces(reports: list[ShardReport]) -> TraceLog:
+    """Merge per-shard reports into one canonical trace.
+
+    Raises if any worker's trace ring evicted records: the merge needs the
+    complete per-shard record streams (the per-worker ring is sized far
+    beyond any scenario this runner targets, so eviction means the caller
+    is using the wrong tool).
+    """
+    for rep in reports:
+        if rep.dropped_records:
+            raise RuntimeError(
+                f"shard {rep.shard_id} evicted {rep.dropped_records} trace "
+                "records; the merged digest would not witness the full run"
+            )
+    keyed = []
+    for rep in reports:
+        fault_rank = {idx: k for k, idx in enumerate(rep.fault_indices)}
+        for seq, rec in enumerate(rep.records):
+            if seq in fault_rank:
+                key = (rec.time, 0, fault_rank[seq], 0)
+            else:
+                key = (rec.time, 1, rep.shard_id, seq)
+            keyed.append((key, rec))
+    keyed.sort(key=lambda kr: kr[0])
+    merged = TraceLog(capacity=max(len(keyed), 1))
+    for _key, rec in keyed:
+        merged.emit(rec.time, rec.event, rec.worm, rec.detail)
+    return merged

@@ -1,0 +1,67 @@
+"""Boundary messages exchanged between shard workers at window barriers.
+
+Three message kinds cover every cross-partition influence in the worm
+model (see docs/sharding.md for the lookahead proof that makes barrier
+delivery conservative):
+
+* :class:`ExpandMsg` -- a worm header finished crossing a boundary forward
+  channel; the shard owning the far switch must run the header decode
+  (replication) there at ``time = h + routing_delay``.
+* :class:`GrantFact` -- a hop was granted at its owning shard; every other
+  participating shard folds the grant time into its local tail-time
+  constraint solver (the fact unblocks parked constraint walks).
+* :class:`AbortMsg` -- the worm hit a revoked channel at its owning shard
+  and died; remote shards release the worm's local hops.
+
+Messages travel in :class:`Envelope` order ``(time, origin, seq)``, which
+every worker applies identically -- part of the determinism contract.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ExpandMsg:
+    """Run a worm's header decode at the far side of a boundary channel."""
+
+    worm: int
+    route_id: int
+    time: float
+
+
+@dataclass(frozen=True)
+class GrantFact:
+    """A hop's channel was granted; ``h`` is its header-crossed time."""
+
+    worm: int
+    route_id: int
+    h: float
+
+
+@dataclass(frozen=True)
+class AbortMsg:
+    """The worm aborted (revoked channel) at its requesting shard."""
+
+    worm: int
+    reason: str
+    time: float
+
+
+@dataclass(frozen=True)
+class Envelope:
+    """Routing wrapper: which shard sent what, to whom, in what order.
+
+    ``time`` is the earliest simulated time the payload may take effect;
+    the conservative window protocol guarantees it is never before the
+    barrier the envelope is delivered at.  ``seq`` is the sender's
+    monotonic emission counter -- ``(time, origin, seq)`` is the canonical
+    application order at the receiver.
+    """
+
+    target: int
+    time: float
+    origin: int
+    seq: int
+    payload: ExpandMsg | GrantFact | AbortMsg

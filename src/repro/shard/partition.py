@@ -1,0 +1,191 @@
+"""Deterministic partitioning of the switch graph for sharded simulation.
+
+A :class:`ShardPlan` assigns every switch of an irregular topology to one of
+``num_shards`` worker processes.  Two properties matter:
+
+* **Determinism.**  The plan is a pure function of (topology, shard count,
+  seed): the BFS root is a seeded draw, neighbor expansion is sorted, and
+  the refinement pass visits switches in a fixed order.  The same inputs
+  always yield the same plan, which the byte-identical-trace contract of
+  the sharded runner depends on.
+* **Small cut.**  Every link whose endpoints land in different shards is a
+  *boundary link*: worms crossing it become inter-worker messages, and the
+  conservative synchronization window (the *lookahead*) is the minimum
+  crossing latency of these links.  Fewer boundary links means fewer
+  messages per window; the band partition is therefore refined by a greedy
+  Kernighan-Lin-style pass that moves border switches between adjacent
+  shards while it strictly reduces the cut and keeps the shard sizes
+  balanced.
+
+The partitioner never splits a *node* from its switch: hosts, their
+injection/delivery channels, and all per-host resources live in the shard
+of the switch they attach to.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+
+from repro.params import SimParams
+from repro.topology.graph import NetworkTopology
+
+_REFINE_PASSES = 4
+"""Upper bound on greedy refinement sweeps (each sweep is O(links))."""
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """Immutable switch -> shard assignment plus its derived cut.
+
+    Attributes:
+        num_shards: worker count; shards are numbered ``0..num_shards-1``.
+        shard_of_switch: per-switch shard id, indexed by switch number.
+        boundary_links: ids of links whose two endpoints lie in different
+            shards (the inter-worker communication surface).
+    """
+
+    num_shards: int
+    shard_of_switch: tuple[int, ...]
+    boundary_links: frozenset[int]
+
+    def shard_of_node(self, topo: NetworkTopology, node: int) -> int:
+        """Shard owning ``node`` (= the shard of its attachment switch)."""
+        return self.shard_of_switch[topo.switch_of_node(node)]
+
+    def switches_of(self, shard: int) -> list[int]:
+        """Switches assigned to ``shard``, ascending."""
+        return [s for s, p in enumerate(self.shard_of_switch) if p == shard]
+
+    def lookahead(self, params: SimParams) -> float:
+        """Conservative synchronization window width, in cycles.
+
+        Any influence one shard exerts on another travels across a boundary
+        forward channel (header crossing) or through the worm constraint
+        system along such a channel; either way it is padded by at least one
+        forward-channel crossing delay, ``switch_delay + link_delay`` (see
+        docs/sharding.md for the derivation).  With no boundary links the
+        shards are causally independent and the lookahead is infinite --
+        one window covers the whole run.
+        """
+        if not self.boundary_links:
+            return math.inf
+        return float(params.switch_delay + params.link_delay)
+
+
+def _cut_size(topo: NetworkTopology, shard_of: list[int]) -> int:
+    return sum(
+        1 for lk in topo.links if shard_of[lk.a.switch] != shard_of[lk.b.switch]
+    )
+
+
+def partition_switches(
+    topo: NetworkTopology,
+    num_shards: int,
+    seed: int = 0,
+    refine: bool = True,
+) -> ShardPlan:
+    """Partition the switch graph into ``num_shards`` balanced shards.
+
+    BFS-band seeding: a breadth-first order from a seeded root switch is
+    cut into ``num_shards`` contiguous bands of near-equal size, so each
+    shard starts as a ball-like region of the irregular graph.  With
+    ``refine`` (the default) a greedy pass then moves boundary switches to
+    neighboring shards whenever that strictly shrinks the cut without
+    unbalancing the shards by more than one switch.
+
+    Raises ``ValueError`` for a shard count outside ``1..num_switches``.
+    """
+    n = topo.num_switches
+    if not 1 <= num_shards <= n:
+        raise ValueError(
+            f"num_shards must be in 1..{n} (switch count), got {num_shards}"
+        )
+    rng = random.Random(seed)
+    root = rng.randrange(n)
+
+    # Deterministic BFS order (sorted neighbor expansion, seeded root).
+    order: list[int] = []
+    seen = {root}
+    frontier = [root]
+    while frontier:
+        order.extend(frontier)
+        nxt: list[int] = []
+        for sw in frontier:
+            for nb in sorted(topo.neighbors(sw)):
+                if nb not in seen:
+                    seen.add(nb)
+                    nxt.append(nb)
+        frontier = nxt
+    # Disconnected remainders (cannot happen for generated topologies, but
+    # hand-built fixtures may pass fragments): append in switch order.
+    for sw in range(n):
+        if sw not in seen:
+            order.append(sw)
+
+    # Contiguous bands of near-equal size: the first (n % num_shards) bands
+    # take one extra switch.
+    shard_of = [0] * n
+    base, extra = divmod(n, num_shards)
+    start = 0
+    for shard in range(num_shards):
+        size = base + (1 if shard < extra else 0)
+        for sw in order[start:start + size]:
+            shard_of[sw] = shard
+        start += size
+
+    if refine and num_shards > 1:
+        _refine_cut(topo, shard_of, num_shards)
+
+    boundary = frozenset(
+        lk.link_id
+        for lk in topo.links
+        if shard_of[lk.a.switch] != shard_of[lk.b.switch]
+    )
+    return ShardPlan(num_shards, tuple(shard_of), boundary)
+
+
+def _refine_cut(
+    topo: NetworkTopology, shard_of: list[int], num_shards: int
+) -> None:
+    """Greedy boundary refinement: move switches to reduce the cut.
+
+    A switch may move to a shard that some neighbor occupies when the move
+    strictly reduces the total cut, keeps every shard non-empty, and keeps
+    all shard sizes within one of perfect balance.  Switches are visited in
+    ascending order; the loop stops after a sweep with no improvement (or
+    after ``_REFINE_PASSES`` sweeps).
+    """
+    n = topo.num_switches
+    sizes = [0] * num_shards
+    for p in shard_of:
+        sizes[p] += 1
+    max_size = -(-n // num_shards)  # ceil: perfect balance upper bound
+
+    for _ in range(_REFINE_PASSES):
+        improved = False
+        for sw in range(n):
+            here = shard_of[sw]
+            if sizes[here] <= 1:
+                continue
+            # Cut edges incident to sw per candidate shard.
+            neighbor_shards: dict[int, int] = {}
+            for nb in topo.neighbors(sw):
+                p = shard_of[nb]
+                neighbor_shards[p] = neighbor_shards.get(p, 0) + 1
+            local = neighbor_shards.get(here, 0)
+            best = None
+            for p in sorted(neighbor_shards):
+                if p == here or sizes[p] >= max_size:
+                    continue
+                gain = neighbor_shards[p] - local
+                if gain > 0 and (best is None or gain > best[0]):
+                    best = (gain, p)
+            if best is not None:
+                shard_of[sw] = best[1]
+                sizes[here] -= 1
+                sizes[best[1]] += 1
+                improved = True
+        if not improved:
+            break

@@ -1,0 +1,165 @@
+"""Process-parallel backend for the sharded runner.
+
+:class:`ProcShardSimulation` drives the exact window protocol of
+:class:`~repro.shard.coordinator.ShardSimulation` -- it *is* that class,
+with the transport primitives overridden -- but each
+:class:`~repro.shard.worker.ShardWorker` lives in its own OS process and
+is commanded over a :func:`multiprocessing.Pipe`.  Every broadcast
+primitive is **pipelined**: the command is written to all workers first,
+then all replies are gathered, so the windows (where the simulation work
+happens) execute concurrently across cores.  Because the child workers
+are byte-for-byte the inline ones and the coordinator logic is shared,
+the merged trace of a process-parallel run is identical to the inline
+run's -- the determinism suite's contract carries over unchanged.
+
+The coordinator keeps one extra rule the inline backend does not need:
+worker processes are a resource.  Use the class as a context manager (or
+call :meth:`close`); :meth:`run` shuts the pool down on completion and on
+error.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+from multiprocessing.connection import Connection
+
+from repro.shard.coordinator import ShardSimulation
+from repro.shard.scenario import ShardScenario
+from repro.shard.worker import ShardWorker
+
+
+def _worker_main(
+    conn: Connection, shard_id: int, scenario: ShardScenario, plan
+) -> None:
+    """Child process body: build the shard worker, serve commands."""
+    worker = ShardWorker(shard_id, scenario, plan)
+    while True:
+        cmd, args = conn.recv()
+        if cmd == "stop":
+            conn.send(("ok", None))
+            conn.close()
+            return
+        try:
+            result = getattr(worker, cmd)(*args)
+        except Exception as exc:  # pragma: no cover - protocol safety
+            conn.send(("error", f"{type(exc).__name__}: {exc}"))
+            raise
+        conn.send(("ok", result))
+
+
+class _Remote:
+    """One worker process plus its command pipe."""
+
+    def __init__(
+        self,
+        ctx,
+        shard_id: int,
+        scenario: ShardScenario,
+        plan,
+    ) -> None:
+        self.conn, child = ctx.Pipe()
+        self.process = ctx.Process(
+            target=_worker_main,
+            args=(child, shard_id, scenario, plan),
+            daemon=True,
+        )
+        self.process.start()
+        child.close()
+
+    def post(self, cmd: str, *args) -> None:
+        self.conn.send((cmd, args))
+
+    def reply(self):
+        status, value = self.conn.recv()
+        if status != "ok":  # pragma: no cover - protocol safety
+            raise RuntimeError(f"shard worker failed: {value}")
+        return value
+
+    def call(self, cmd: str, *args):
+        self.post(cmd, *args)
+        return self.reply()
+
+
+class ProcShardSimulation(ShardSimulation):
+    """The window protocol over a pool of per-shard worker processes."""
+
+    def _make_workers(self) -> list:
+        ctx = mp.get_context("fork") if "fork" in mp.get_all_start_methods() \
+            else mp.get_context()
+        self._remotes = [
+            _Remote(ctx, shard, self.scenario, self.plan)
+            for shard in range(self.num_shards)
+        ]
+        self._closed = False
+        return []  # all access goes through the transport primitives
+
+    # ------------------------------------------------------------------
+    # Pipelined transport primitives
+    # ------------------------------------------------------------------
+    def _broadcast(self, cmd: str, *args) -> list:
+        for remote in self._remotes:
+            remote.post(cmd, *args)
+        return [remote.reply() for remote in self._remotes]
+
+    def _sync_everywhere(
+        self, by_target: dict[int, list]
+    ) -> list[float | None]:
+        for i, remote in enumerate(self._remotes):
+            remote.post("sync", by_target.get(i, []))
+        return [remote.reply() for remote in self._remotes]
+
+    def _advance_everywhere(self, barrier: float | None) -> list:
+        envelopes = []
+        for batch in self._broadcast("advance", barrier):
+            envelopes.extend(batch)
+        return envelopes
+
+    def _prepare_fault_everywhere(self, link_id: int) -> list:
+        return self._broadcast("prepare_fault", link_id)
+
+    def _skip_fault_everywhere(self, link_id: int, reason: str) -> None:
+        self._broadcast("skip_fault", link_id, reason)
+
+    def _commit_fault_everywhere(
+        self, link_id: int, victims: list[int]
+    ) -> None:
+        self._broadcast("commit_fault", link_id, victims)
+
+    def _reports(self) -> list:
+        return self._broadcast("report")
+
+    def _pending_outboxes(self) -> int:
+        # The coordinator always syncs before collecting, so any leftover
+        # envelope is still sitting in a worker outbox; a fresh drain is an
+        # equivalent emptiness check.
+        return sum(len(batch) for batch in self._broadcast("drain_outbox"))
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def run(self):
+        try:
+            return super().run()
+        finally:
+            self.close()
+
+    def close(self) -> None:
+        if getattr(self, "_closed", True):
+            return
+        self._closed = True
+        for remote in self._remotes:
+            try:
+                remote.call("stop")
+            except (EOFError, BrokenPipeError, OSError):
+                pass
+            remote.conn.close()
+        for remote in self._remotes:
+            remote.process.join(timeout=10)
+            if remote.process.is_alive():  # pragma: no cover - safety
+                remote.process.terminate()
+
+    def __enter__(self) -> "ProcShardSimulation":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

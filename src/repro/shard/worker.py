@@ -1,0 +1,287 @@
+"""One shard's runtime: a partition-scoped event loop over the full fabric.
+
+A :class:`ShardWorker` owns a complete :class:`~repro.sim.network.SimNetwork`
+-- topology, routing tables, fabric -- built identically on every worker
+(same params, same seeds), of which it *simulates* only the channels owned
+by its partition.  Building the full fabric everywhere costs memory
+proportional to the network, not to the partition, but buys the property
+everything else rests on: channel uids, names, delays and route ids are
+identical across workers, so boundary messages can name hops by plain
+integers and every worker resolves them to the same objects.
+
+The worker exposes the window protocol the coordinator drives:
+
+* :meth:`run_window` / :meth:`run_all` -- advance the local engine;
+* :meth:`drain_outbox` / :meth:`apply_envelopes` -- barrier message exchange;
+* :meth:`prepare_fault` / :meth:`skip_fault` / :meth:`commit_fault` -- the
+  replicated fault transaction (every worker mutates its own replica of the
+  topology and fabric identically; only worker 0 emits the trace records);
+* :meth:`report` -- deliveries, trace records and counters for the merge.
+
+Worker 0 is the *trace leader* for fault processing: fault-phase records
+("fault", the per-victim "abort"s, "reconfig", "fault-skip") are emitted
+once, on worker 0, whatever shards the victims live on, and their positions
+are remembered so the trace merge can order them before every same-time
+worm record (mirroring the serial injector's early-armed, low-sequence
+fault events).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.shard.messages import AbortMsg, Envelope, ExpandMsg, GrantFact
+from repro.shard.partition import ShardPlan
+from repro.shard.scenario import ShardScenario
+from repro.shard.worm_part import PartWorm
+from repro.sim.network import SimNetwork
+from repro.sim.tracelog import TraceLog, TraceRecord
+from repro.topology import faults as topo_faults
+
+_TRACE_CAPACITY = 1 << 20
+"""Per-worker trace ring size.  The merge needs every retained record, so
+workers trace with plenty of headroom; the digest itself is streaming and
+survives eviction regardless."""
+
+
+@dataclass
+class ShardReport:
+    """Everything the coordinator needs from one worker after the run."""
+
+    shard_id: int
+    deliveries: dict[tuple[int, int], float]
+    records: list[TraceRecord]
+    fault_indices: list[int]
+    events_fired: int
+    messages_sent: int
+    dropped_records: int = field(default=0)
+
+
+class ShardWorker:
+    """One partition's simulation state plus its boundary protocol."""
+
+    def __init__(
+        self,
+        shard_id: int,
+        scenario: ShardScenario,
+        plan: ShardPlan,
+    ) -> None:
+        self.shard_id = shard_id
+        self.scenario = scenario
+        self.plan = plan
+        self.net = SimNetwork(scenario.topo, scenario.params)
+        self.net.trace = TraceLog(capacity=_TRACE_CAPACITY)
+        self.deliveries: dict[tuple[int, int], float] = {}
+        self.outbox: list[Envelope] = []
+        self.fault_indices: list[int] = []
+        self._seq = 0
+        self._messages_sent = 0
+        self._parts: dict[int, PartWorm] = {}
+        self._live: dict[int, PartWorm] = {}
+        self._build_worms()
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def _build_worms(self) -> None:
+        """Instantiate this shard's part of every participating worm.
+
+        Every worker plans the same static routes on its own (identical)
+        epoch-0 routing tables; a worm is kept only where it owns hops.
+        Locally-rooted worms are launched exactly as the serial reference
+        does: time-zero jobs inject immediately (low event sequence
+        numbers), later jobs via a scheduled launch event.
+        """
+        routes = self.scenario.plan_routes(self.net.routing)
+        for gid, ((start, src, _dsts), route) in enumerate(
+            zip(self.scenario.jobs, routes)
+        ):
+            part = PartWorm(self, gid, route, src)
+            if not part.is_participant(self.shard_id):
+                continue
+            self._parts[gid] = part
+            self._live[gid] = part
+            part.on_retire = lambda _w, gid=gid: self._live.pop(gid, None)
+            if part.root_is_local():
+                if start == 0:
+                    part.launch()
+                else:
+                    self.net.engine.at(start, part.launch)
+
+    # ------------------------------------------------------------------
+    # PartWorm callbacks
+    # ------------------------------------------------------------------
+    def record_delivery(self, gid: int, node: int, time: float) -> None:
+        self.deliveries[(gid, node)] = time
+
+    def _post(self, target: int, time: float, payload) -> None:
+        self.outbox.append(
+            Envelope(target, time, self.shard_id, self._seq, payload)
+        )
+        self._seq += 1
+        self._messages_sent += 1
+
+    def broadcast_grant(self, worm: PartWorm, route_id: int, h: float) -> None:
+        for shard in sorted(worm._participants):
+            if shard != self.shard_id:
+                self._post(shard, h, GrantFact(worm.gid, route_id, h))
+
+    def send_expand(
+        self, worm: PartWorm, route_id: int, when: float, owner: int
+    ) -> None:
+        self._post(owner, when, ExpandMsg(worm.gid, route_id, when))
+
+    def broadcast_abort(self, worm: PartWorm, reason: str) -> None:
+        now = self.net.engine.now
+        for shard in sorted(worm._participants):
+            if shard != self.shard_id:
+                self._post(shard, now, AbortMsg(worm.gid, reason, now))
+
+    # ------------------------------------------------------------------
+    # Window protocol
+    # ------------------------------------------------------------------
+    def next_event_time(self) -> float | None:
+        return self.net.engine.next_event_time()
+
+    def sync(self, envelopes: list[Envelope]) -> float | None:
+        """Barrier half-step: fold boundary messages in, report readiness.
+
+        Fused so remote transports pay one round trip per barrier for
+        message application *and* the next-event poll the coordinator needs
+        to place the following window.
+        """
+        if envelopes:
+            self.apply_envelopes(envelopes)
+        return self.next_event_time()
+
+    def advance(self, barrier: float | None) -> list[Envelope]:
+        """Window half-step: run up to ``barrier`` (None = drain fully),
+        handing back the boundary messages the window produced."""
+        if barrier is None:
+            self.run_all()
+        else:
+            self.run_window(barrier)
+        return self.drain_outbox()
+
+    def run_window(self, end: float) -> int:
+        return self.net.engine.run_window(end)
+
+    def run_all(self) -> None:
+        """Drain the engine completely (infinite-lookahead fast path)."""
+        self.net.engine.run()
+
+    def drain_outbox(self) -> list[Envelope]:
+        out, self.outbox = self.outbox, []
+        return out
+
+    def apply_envelopes(self, envelopes: list[Envelope]) -> None:
+        """Fold a barrier's boundary messages into local state.
+
+        Applied in the canonical ``(time, origin, seq)`` order.  Grant
+        facts and aborts take effect immediately (their downstream events
+        all target at or after the barrier -- the lookahead invariant);
+        expand messages become ordinary engine events at their decode time,
+        which the conservative barrier guarantees has not yet been run.
+        """
+        engine = self.net.engine
+        for env in sorted(
+            envelopes, key=lambda e: (e.time, e.origin, e.seq)
+        ):
+            part = self._parts.get(env.payload.worm)
+            if part is None:  # pragma: no cover - protocol safety
+                raise RuntimeError(
+                    f"shard {self.shard_id} received a message for worm "
+                    f"{env.payload.worm} it does not participate in"
+                )
+            msg = env.payload
+            if isinstance(msg, GrantFact):
+                part.apply_grant_fact(msg.route_id, msg.h)
+            elif isinstance(msg, ExpandMsg):
+                hop = part._by_route_id[msg.route_id]
+                engine.at(msg.time, lambda p=part, h=hop: p.expand_local(h))
+            elif isinstance(msg, AbortMsg):
+                part.apply_remote_abort(msg.reason)
+            else:  # pragma: no cover - type guard
+                raise TypeError(f"unknown boundary message {msg!r}")
+
+    # ------------------------------------------------------------------
+    # Replicated fault transaction
+    # ------------------------------------------------------------------
+    def _lead_trace(self, event: str, worm: str, detail: str) -> None:
+        """Worker 0 emits a fault-phase record and remembers its position."""
+        if self.shard_id == 0:
+            self.fault_indices.append(len(self.net.trace))
+            self.net.trace.emit(self.net.engine.now, event, worm, detail)
+
+    def prepare_fault(self, link_id: int) -> tuple[str, object]:
+        """Phase 1: validate the removal and name the local victims.
+
+        Pure (no state change); every worker computes the same verdict from
+        its identical topology replica.  Returns ``("skip", reason)`` when
+        the removal would disconnect the graph (or the link is already
+        gone), else ``("ok", victim_gids)`` -- the launch-ordered ids of
+        live worms holding or awaiting the link's channels *on this shard*.
+        """
+        try:
+            topo_faults.remove_link(self.net.topo, link_id)
+        except ValueError as exc:
+            return ("skip", str(exc))
+        uids = {
+            ch.uid
+            for (lid, _frm), ch in self.net.fabric.forward.items()
+            if lid == link_id
+        }
+        victims = [
+            gid
+            for gid, part in sorted(self._live.items())
+            if part.touches_local(uids)
+        ]
+        return ("ok", victims)
+
+    def skip_fault(self, link_id: int, reason: str) -> None:
+        self.net.chaos.faults_skipped += 1
+        self._lead_trace("fault-skip", "chaos", f"link {link_id}: {reason}")
+
+    def commit_fault(self, link_id: int, victims: list[int]) -> None:
+        """Phase 2: the replicated equivalent of the serial injector's fire.
+
+        ``victims`` is the coordinator's launch-ordered union of every
+        worker's :meth:`prepare_fault` answer, so the abort records (worker
+        0) and the abort bookkeeping (wherever each victim holds hops) agree
+        with the serial abort order.  The topology/routing mutation runs on
+        every worker -- each holds a full replica.
+        """
+        net = self.net
+        degraded = topo_faults.remove_link(net.topo, link_id)
+        net.chaos.faults_fired += 1
+        self._lead_trace("fault", "chaos", f"link {link_id} failed")
+        for (lid, _frm), ch in net.fabric.forward.items():
+            if lid == link_id:
+                ch.revoke()
+        reason = f"link {link_id} failed"
+        for gid in victims:
+            self._lead_trace("abort", f"w{gid}", reason)
+            part = self._parts.get(gid)
+            if part is not None:
+                part.apply_remote_abort(reason)
+        net.reconfigure(degraded)
+        net.chaos.reconfig_latency_total += self.scenario.reconfig_latency
+        self._lead_trace(
+            "reconfig",
+            "chaos",
+            f"epoch {net.routing_epoch}, {len(degraded.links)} links remain",
+        )
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+    def report(self) -> ShardReport:
+        return ShardReport(
+            shard_id=self.shard_id,
+            deliveries=dict(self.deliveries),
+            records=self.net.trace.records(),
+            fault_indices=list(self.fault_indices),
+            events_fired=self.net.engine.events_fired,
+            messages_sent=self._messages_sent,
+            dropped_records=self.net.trace.dropped,
+        )

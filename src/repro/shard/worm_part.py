@@ -1,0 +1,326 @@
+"""The shard-local part of a boundary-spanning worm.
+
+One worm of a :class:`~repro.shard.scenario.ShardScenario` may route across
+several partitions.  Each participating shard holds a :class:`PartWorm`:
+the *full* static replication skeleton (every hop's channel, parent and
+children, resolved against the worker's identically-built fabric), of which
+only the **locally owned** hops -- those whose channel leaves a switch of
+this shard -- are actually simulated.  Remote hops are mirrors: their grant
+times arrive as :class:`~repro.shard.messages.GrantFact` boundary messages
+and feed the same closed-form tail-time solver the single-process
+:class:`~repro.sim.worm.Worm` uses (the solver is inherited unchanged).
+
+Equivalence to the serial worm, hop by hop:
+
+* a hop is *requested* on exactly one shard -- the one owning its channel's
+  source switch -- because header decode (:meth:`expand_local`) always runs
+  on the shard of the decoding switch, so channel FIFO arbitration is
+  entirely shard-local;
+* grant times are facts: broadcast once, applied at the next barrier, they
+  unblock remote constraint walks no earlier than the serial walk would
+  have resolved (the lookahead argument in docs/sharding.md);
+* aborts originate at the requesting shard (revoked channel), emit the one
+  serial ``abort`` trace record there, and release remote hops via
+  :class:`~repro.shard.messages.AbortMsg`.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.sim.flitsim import FlitRoute
+from repro.sim.worm import Worm, _Hop, _NotFinal
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.shard.worker import ShardWorker
+
+
+class PartWorm(Worm):
+    """One shard's view of one scenario worm.
+
+    Args:
+        worker: the owning shard worker (engine, fabric, outbox).
+        gid: global worm id = job index (labels are ``w<gid>``).
+        route: the job's static replication tree (channel-key nodes).
+        src_node: the job's source node (owner of the injection channel).
+    """
+
+    def __init__(
+        self, worker: "ShardWorker", gid: int, route: FlitRoute, src_node: int
+    ) -> None:
+        net = worker.net
+        super().__init__(
+            net.engine,
+            net.params,
+            steer=_no_steer,
+            on_delivered=lambda node, t: worker.record_delivery(gid, node, t),
+            rng=net.rng,
+            label=f"w{gid}",
+            trace=net.trace,
+        )
+        self.gid = gid
+        self.worker = worker
+        self._participants: set[int] = set()
+        self._local: list[bool] = []
+        self._requested: list[bool] = []
+        self._by_route_id: list[_Hop] = []
+        self._activations = 0
+        self._build_skeleton(route, src_node)
+
+    # ------------------------------------------------------------------
+    # Static skeleton
+    # ------------------------------------------------------------------
+    def _resolve_channel(self, key: tuple):
+        fab = self.worker.net.fabric
+        if key[0] == "inj":
+            return fab.inject[key[1]]
+        if key[0] == "fwd":
+            return fab.forward[(key[1], key[2])]
+        if key[0] == "del":
+            return fab.deliver[key[1]]
+        raise ValueError(f"unknown route channel key {key!r}")
+
+    def _owner_shard(self, key: tuple) -> int:
+        """Shard owning a channel = shard of the switch the channel leaves.
+
+        Every request for the channel is issued by code running at that
+        switch (injection at the source, forwarding/delivery at the decode
+        switch), so FIFO arbitration never crosses a shard boundary.
+        """
+        topo, plan = self.worker.net.topo, self.worker.plan
+        if key[0] == "inj":
+            return plan.shard_of_switch[topo.switch_of_node(key[1])]
+        if key[0] == "fwd":
+            return plan.shard_of_switch[key[2]]
+        return plan.shard_of_switch[topo.switch_of_node(key[1])]  # "del"
+
+    def _build_skeleton(self, route: FlitRoute, src_node: int) -> None:
+        """Materialize every route node as a (local or mirror) ``_Hop``.
+
+        Route ids are preorder positions -- the cross-shard hop naming used
+        in boundary messages.  Local hops get their real ``idx`` (the
+        serial worm's creation-order tie-break) lazily at activation time,
+        which reproduces the serial creation order among this shard's hops.
+        Every hop is pre-marked ``expanded`` so constraint walks descend to
+        the (pre-wired) children and park on grant times -- the walk's
+        *value* is what the serial walk computes, only its parking spot
+        differs (see module docstring).
+        """
+        me = self.worker.shard_id
+        plan_shard_of_switch = self.worker.plan.shard_of_switch
+        local_unreleased = 0
+        local_deliveries = 0
+        stack: list[tuple[FlitRoute, _Hop | None]] = [(route, None)]
+        while stack:
+            node, parent = stack.pop(0)
+            channel = self._resolve_channel(node.channel)
+            owner = self._owner_shard(node.channel)
+            self._participants.add(owner)
+            hop = _Hop(channel=channel, parent=parent, idx=len(self._hops))
+            if parent is not None:
+                parent.children.append(hop)
+            terminal = node.channel[0] == "del"
+            hop.terminal = terminal
+            # Serial walks gate on ``expanded`` because a hop's children
+            # are unknown until its header is decoded.  Here the skeleton
+            # is statically complete, so the gate is kept only where the
+            # decode runs on *this* shard (exact serial walk/scheduling
+            # parity there, flipped by :meth:`expand_local`); a hop decoded
+            # elsewhere is pre-marked expanded -- its ExpandMsg goes to the
+            # decode shard, never here, and leaving the gate closed would
+            # park local walks on it forever.  Ungranted children
+            # (``h is None``) still gate those walks, yielding the same
+            # tail values -- see docs/sharding.md.
+            if terminal:
+                hop.expanded = True
+            else:
+                decode_owner = plan_shard_of_switch[channel.to_switch]
+                hop.expanded = decode_owner != me
+            self._hops.append(hop)
+            self._by_route_id.append(hop)
+            self._local.append(owner == me)
+            self._requested.append(False)
+            if owner == me:
+                local_unreleased += 1
+                if terminal:
+                    local_deliveries += 1
+            for child in node.children:
+                stack.append((child, hop))
+        self._unreleased = local_unreleased
+        self._pending_deliveries = local_deliveries
+        self._root = self._by_route_id[0]
+        self._src_node = src_node
+        self._route_id_of = {id(h): i for i, h in enumerate(self._by_route_id)}  # lint: disable=identity-in-sim -- hops pinned by _by_route_id for the worm's lifetime; ids never escape
+
+    def is_participant(self, shard: int) -> bool:
+        return shard in self._participants
+
+    def root_is_local(self) -> bool:
+        return self._local[0]
+
+    # ------------------------------------------------------------------
+    # Local simulation
+    # ------------------------------------------------------------------
+    def launch(self) -> None:
+        """Fire the injection request (root shard only, at the start time)."""
+        self._started = True
+        self.start_time = self.engine.now
+        self._activate(self._root)
+
+    def _activate(self, hop: _Hop) -> None:
+        """Request a locally-owned hop's channel (serial ``_request``)."""
+        rid = self._route_id_of[id(hop)]  # lint: disable=identity-in-sim -- same pinned-hop map as above
+        hop.idx = self._activations
+        self._activations += 1
+        self._requested[rid] = True
+        if hop.channel.revoked:
+            self.abort(f"channel {hop.channel.name} revoked")
+            return
+
+        def granted() -> None:
+            if self.aborted or hop.released:
+                hop.released = True
+                hop.channel.release()
+                return
+            hop.h = self.engine.now + hop.channel.delay
+            self._trace("grant", hop.channel.name)
+            if len(self._participants) > 1:
+                self.worker.broadcast_grant(self, rid, hop.h)
+            if not hop.terminal:
+                when = hop.h + self.params.routing_delay
+                to_switch = hop.channel.to_switch
+                owner = self.worker.plan.shard_of_switch[to_switch]
+                if owner == self.worker.shard_id:
+                    self.engine.at(when, lambda: self.expand_local(hop))
+                else:
+                    self.worker.send_expand(self, rid, when, owner)
+            self._refinalize(hop)
+
+        hop.channel.request(granted)
+
+    def expand_local(self, hop: _Hop) -> None:
+        """Header decode at a locally-owned switch: activate the children.
+
+        Mirrors the serial ``_expand`` over the static skeleton: delivery
+        children count a pending delivery, forward children abort the worm
+        when their (single, statically planned) channel has been revoked,
+        and expansion re-attempts the hop's parked constraint walks.
+        """
+        if self.aborted:
+            return
+        switch = hop.channel.to_switch
+        for child in hop.children:
+            if self.aborted:
+                return
+            if child.terminal:
+                self._activate(child)
+            else:
+                if child.channel.revoked:
+                    self.abort(f"no surviving route at switch {switch}")
+                    return
+                self._activate(child)
+        hop.expanded = True
+        self._refinalize(hop)
+
+    def _refinalize(self, changed: _Hop) -> None:
+        """Serial ``_refinalize`` restricted to locally-owned hops.
+
+        Mirror hops may be the *changed* trigger (a grant fact arrived) and
+        may carry parked waiters, but only local hops ever get release and
+        delivery events scheduled -- their owner shard schedules theirs.
+        """
+        if self.aborted:
+            return
+        candidates = [changed]
+        if changed.waiters:
+            candidates.extend(changed.waiters)
+            changed.waiters = []
+        candidates.sort(key=lambda h: h.idx)
+        length = self.length
+        memo: dict[tuple[int, int], float] = {}
+        now = self.engine.now
+        attempted: set[int] = set()
+        for hop in candidates:
+            rid = self._route_id_of[id(hop)]  # lint: disable=identity-in-sim -- pinned-hop map, see _build_skeleton
+            if not self._local[rid]:
+                continue
+            if hop.release_scheduled or rid in attempted:
+                continue
+            attempted.add(rid)
+            try:
+                tail = hop.channel.delay + self._send_bound(
+                    hop, length - 1, memo
+                )
+            except _NotFinal as nf:
+                nf.blocker.waiters.append(hop)
+                continue
+            hop.release_scheduled = True
+            when = max(tail, now)
+            self.engine.at(when, lambda h=hop: self._release(h))
+            if hop.terminal:
+                node = hop.channel.to_node
+                assert node is not None
+                self.engine.at(when, lambda n=node: self._delivered(n))
+
+    # ------------------------------------------------------------------
+    # Cross-shard facts
+    # ------------------------------------------------------------------
+    def apply_grant_fact(self, route_id: int, h: float) -> None:
+        """Fold a remote hop's grant time into the local solver."""
+        hop = self._by_route_id[route_id]
+        hop.h = h
+        self._refinalize(hop)
+
+    def apply_remote_abort(self, reason: str) -> None:
+        """The worm died at another shard: release local holdings silently.
+
+        The originating shard emitted the single serial ``abort`` trace
+        record; here only the resource bookkeeping happens.
+        """
+        if self.aborted or self.finish_time is not None:
+            return
+        self.aborted = True
+        self.abort_reason = reason
+        self._release_held()
+        if self.on_retire is not None:
+            self.on_retire(self)
+
+    def abort(self, reason: str) -> None:
+        """Locally-originated abort: trace, release, tell the other shards."""
+        if self.aborted or self.finish_time is not None:
+            return
+        self.aborted = True
+        self.abort_reason = reason
+        self._trace("abort", reason)
+        self._release_held()
+        if len(self._participants) > 1:
+            self.worker.broadcast_abort(self, reason)
+        if self.on_abort is not None:
+            self.on_abort(reason)
+        if self.on_retire is not None:
+            self.on_retire(self)
+
+    def _release_held(self) -> None:
+        for rid, hop in enumerate(self._by_route_id):
+            if self._local[rid] and hop.h is not None and not hop.released:
+                hop.released = True
+                hop.channel.release()
+
+    def touches_local(self, channel_uids: set[int]) -> bool:
+        """Serial ``touches`` restricted to locally-owned hops.
+
+        Only *requested* hops count: the serial worm materializes a hop the
+        moment it queues for the channel, so a skeleton hop this shard has
+        not yet activated does not make the worm a fault victim -- it will
+        abort later, at request time, via the revoked-channel check, just
+        as the serial worm does.
+        """
+        return any(
+            self._requested[rid] and not hop.released
+            and hop.channel.uid in channel_uids
+            for rid, hop in enumerate(self._by_route_id)
+        )
+
+
+def _no_steer(switch: int, state: object):  # pragma: no cover - never called
+    raise RuntimeError("PartWorm replicates along its static skeleton")

@@ -84,15 +84,59 @@ class Engine:
         if until is not None:
             self.now = until
 
-    def step(self) -> bool:
-        """Fire exactly one event; returns False when the queue is empty."""
+    def run_window(self, end: float) -> int:
+        """Fire every event strictly before ``end``; leave the clock at ``end``.
+
+        The window-exclusive counterpart of :meth:`run`: events scheduled at
+        exactly ``end`` stay queued, so a caller synchronizing several engines
+        (the sharded simulation's conservative time windows) can exchange
+        boundary messages and process barrier-time actions *before* any
+        barrier-time event fires.  Returns the number of events fired.
+
+        Like :meth:`run`, a window ending in the past raises ``ValueError``.
+        """
+        if end < self.now:
+            raise ValueError(f"cannot run window to {end} < now {self.now}")
+        fired = 0
+        while self._heap and self._heap[0][0] < end:
+            time, _seq, fn = heapq.heappop(self._heap)
+            self.now = time
+            fn()
+            fired += 1
+            self._events_fired += 1
+        self.now = end
+        return fired
+
+    def step(self, until: float | None = None) -> bool:
+        """Fire exactly one event; returns False when the queue is empty.
+
+        ``step`` honours the same contract as :meth:`run`: passing an
+        ``until`` before ``now`` raises ``ValueError`` (the clock never
+        rewinds), and when the next event lies beyond ``until`` nothing
+        fires -- the clock advances to ``until`` and ``False`` is returned,
+        exactly as a bounded :meth:`run` would leave it.  Window-stepped
+        shard workers rely on this to neither rewind nor overshoot their
+        synchronization barrier.
+        """
+        if until is not None and until < self.now:
+            raise ValueError(f"cannot step until {until} < now {self.now}")
         if not self._heap:
+            if until is not None:
+                self.now = until
             return False
-        time, _seq, fn = heapq.heappop(self._heap)
+        time, _seq, fn = self._heap[0]
+        if until is not None and time > until:
+            self.now = until
+            return False
+        heapq.heappop(self._heap)
         self.now = time
         fn()
         self._events_fired += 1
         return True
+
+    def next_event_time(self) -> float | None:
+        """Time of the earliest scheduled event (``None`` when idle)."""
+        return self._heap[0][0] if self._heap else None
 
     @property
     def pending(self) -> int:

@@ -165,12 +165,23 @@ class SimNetwork:
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
-    def run(self, until: float | None = None) -> None:
-        """Drain (or advance) the event engine."""
-        self.engine.run(until=until)
+    def run(self, until: float | None = None, max_events: int | None = None) -> None:
+        """Drain (or advance) the event engine.
+
+        ``max_events`` is :meth:`Engine.run`'s safety valve against runaway
+        networks (zero-delay retry loops and the like), plumbed through so
+        callers of the network API can bound a run without reaching into the
+        engine.
+        """
+        self.engine.run(until=until, max_events=max_events)
 
     def assert_quiescent(self) -> None:
-        """Sanity check between experiments: every channel and CPU idle."""
+        """Sanity check between experiments: nothing busy, nothing scheduled.
+
+        A scheduled-but-unfired event is just as non-quiescent as a busy
+        channel -- it will mutate state the moment the engine runs again --
+        so the check requires ``engine.pending == 0`` too.
+        """
         stuck = [c.name for c in self.fabric.all_channels() if c.busy]
         for h in self.hosts:
             if h.cpu.busy:
@@ -179,3 +190,8 @@ class SimNetwork:
                 stuck.append(h.ni.name)
         if stuck:
             raise AssertionError(f"network not quiescent; busy: {stuck}")
+        if self.engine.pending:
+            raise AssertionError(
+                f"network not quiescent; {self.engine.pending} pending "
+                f"event(s), next at t={self.engine.next_event_time()}"
+            )

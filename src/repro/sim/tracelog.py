@@ -36,12 +36,21 @@ class TraceLog:
         self._records: deque[TraceRecord] = deque(maxlen=capacity)
         self.dropped = 0
         self._capacity = capacity
+        self._stream_hash = hashlib.sha256()
 
     def emit(self, time: float, event: str, worm: str, detail: str) -> None:
-        """Append one record (oldest records are dropped past capacity)."""
+        """Append one record (oldest records are dropped past capacity).
+
+        The determinism digest is folded in *here*, streaming, so it covers
+        every record ever emitted -- ring eviction only affects what
+        :meth:`records` can still show, never the witness.
+        """
         if len(self._records) == self._capacity:
             self.dropped += 1
-        self._records.append(TraceRecord(time, event, worm, detail))
+        record = TraceRecord(time, event, worm, detail)
+        self._records.append(record)
+        self._stream_hash.update(str(record).encode())
+        self._stream_hash.update(b"\n")
 
     def __len__(self) -> int:
         return len(self._records)
@@ -71,18 +80,24 @@ class TraceLog:
         return header + ("\n" + body if body else "")
 
     def digest(self) -> str:
-        """SHA-256 over every rendered record (byte-identity witness).
+        """SHA-256 over every rendered record ever emitted (byte-identity
+        witness).
 
         The determinism contract of the chaos subsystem -- same seed + same
         fault schedule => byte-identical runs -- is asserted by comparing
-        this digest across replays (see ``tests/test_chaos.py``).
+        this digest across replays (see ``tests/test_chaos.py``).  The hash
+        is maintained streaming in :meth:`emit`, so it is independent of the
+        ring ``capacity``: once eviction starts, the digest still witnesses
+        the *full* run, not just the retained tail.  For runs that never
+        evict this renders exactly the bytes the pre-streaming implementation
+        hashed, so historical pinned digests are unchanged.
         """
-        h = hashlib.sha256()
-        for r in self._records:
-            h.update(str(r).encode())
-            h.update(b"\n")
-        return h.hexdigest()
+        return self._stream_hash.hexdigest()
 
     def clear(self) -> None:
-        """Drop all records (the drop counter is kept)."""
+        """Drop all retained records (drop counter and digest are kept).
+
+        ``clear`` resets what :meth:`records` can show; the streaming digest
+        deliberately survives it, since the witness covers the whole run.
+        """
         self._records.clear()

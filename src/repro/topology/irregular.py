@@ -74,6 +74,23 @@ def generate_irregular_topology(
     tree_edges: list[tuple[int, int]] = []
     for i in range(1, S):
         parent = order[rng.randrange(i)]
+        if tree_ports_needed[parent] >= P:
+            # The uniform draw landed on a switch whose ports the tree has
+            # already exhausted (likely once S*P is large: random-attachment
+            # trees grow log-degree hubs).  Redraw uniformly among the
+            # connected switches that still have a free port; the extra
+            # draw only happens where the unguarded choice used to blow the
+            # port budget at materialisation time, so every previously
+            # valid seed reproduces its topology bit-for-bit.
+            open_parents = [
+                order[j] for j in range(i)
+                if tree_ports_needed[order[j]] < P
+            ]
+            if not open_parents:
+                raise ValueError(
+                    "cannot build spanning tree: port budget exhausted"
+                )
+            parent = open_parents[rng.randrange(len(open_parents))]
         tree_edges.append((parent, order[i]))
         tree_ports_needed[parent] += 1
         tree_ports_needed[order[i]] += 1

@@ -106,6 +106,51 @@ class TestEngine:
         assert eng.step()
         assert not eng.step()
 
+    def test_step_honours_until(self):
+        # step() shares run()'s contract: no rewinding, no overshooting.
+        eng = Engine()
+        eng.at(5, lambda: None)
+        eng.at(20, lambda: None)
+        assert eng.step(until=10)       # fires the t=5 event
+        assert eng.now == 5
+        assert not eng.step(until=10)   # t=20 lies beyond; clock -> until
+        assert eng.now == 10
+        assert eng.pending == 1
+        with pytest.raises(ValueError, match="cannot step"):
+            eng.step(until=3)           # pending-event branch
+        assert eng.now == 10
+        assert eng.step()               # unbounded step still fires t=20
+        assert eng.now == 20
+        with pytest.raises(ValueError, match="cannot step"):
+            eng.step(until=3)           # empty-heap branch
+        assert not eng.step(until=30)   # empty heap: clock -> until
+        assert eng.now == 30
+
+    def test_run_window_is_end_exclusive(self):
+        eng = Engine()
+        fired = []
+        eng.at(1, lambda: fired.append(1))
+        eng.at(5, lambda: fired.append(5))
+        eng.at(9, lambda: fired.append(9))
+        assert eng.run_window(5) == 1   # the t=5 event must NOT fire
+        assert fired == [1]
+        assert eng.now == 5
+        eng.at(5, lambda: fired.append(55))  # scheduling at the barrier is legal
+        assert eng.run_window(10) == 3  # t=5 events fire in schedule order
+        assert fired == [1, 5, 55, 9]
+        assert eng.now == 10
+        with pytest.raises(ValueError, match="cannot run window"):
+            eng.run_window(9)
+
+    def test_next_event_time(self):
+        eng = Engine()
+        assert eng.next_event_time() is None
+        eng.at(7, lambda: None)
+        eng.at(3, lambda: None)
+        assert eng.next_event_time() == 3
+        eng.run()
+        assert eng.next_event_time() is None
+
 
 class TestFifoResource:
     def test_immediate_grant_then_queue(self):

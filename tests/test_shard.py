@@ -1,0 +1,255 @@
+"""Shard determinism suite: sharded runs must witness the serial run.
+
+The contract (docs/sharding.md):
+
+* **one shard** -- the merged trace is *raw* byte-identical to the serial
+  run (same records, same emission order, same digest), and the protocol
+  degenerates to a message-free drain;
+* **any shard count** -- the merged trace is *canonically* byte-identical
+  (same records at the same simulated times; content-sorted digests equal)
+  and the delivery map is exactly the serial one.  Raw emission order may
+  legally permute *within* a timestamp across shards: multicast worms
+  advance in lockstep depth-waves, so causally-independent same-time
+  records from different partitions interleave in the serial trace by
+  scheduling history no partitioned run can observe;
+* faults replay as replicated transactions, reproducing the serial
+  injector's record sequence and abort order.
+
+Serial digests are pinned so the reference itself cannot drift silently.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.params import SimParams
+from repro.shard import (
+    ShardReport,
+    ShardScenario,
+    ShardSimulation,
+    canonical_digest,
+    merge_traces,
+    partition_switches,
+    run_serial,
+    seeded_scenario,
+    smoke_scenario,
+)
+
+# ----------------------------------------------------------------------
+# Pinned scenarios and their serial digests
+# ----------------------------------------------------------------------
+SMOKE_SERIAL = (
+    "435a4d8e11044aea8c3be50e1ca8a9fb0c2fb643012eb75012ca7e483a6b54b0"
+)
+SEEDED_SERIAL = (
+    "4e32dfdbc4a6cf3282a329b8e829bae7b569ed9bebd3712cba5d72288efbceb4"
+)
+CHAOS_SERIAL = (
+    "33078665b2ff7a34f4fc157567fb19663e0b214ac9a16998a0fa25cfc2f44843"
+)
+
+
+def _seeded() -> ShardScenario:
+    return seeded_scenario(16, 6, 2, fanout=3, packet_flits=96, spacing=40)
+
+
+def _chaos() -> ShardScenario:
+    # Both faulted links are already held by their victims at fault time
+    # (the serial reference statically routes, so a fault on a link some
+    # *future* worm needs is outside both runners' contract).
+    return replace(
+        _seeded(),
+        fault_pairs=((43.0, 11), (129.0, 25)),
+        reconfig_latency=5.0,
+    )
+
+
+def _chaos_with_skip() -> ShardScenario:
+    return replace(
+        _seeded(),
+        fault_pairs=((43.0, 11), (90.0, 999)),
+        reconfig_latency=5.0,
+    )
+
+
+SCENARIOS = {
+    "smoke": (smoke_scenario, SMOKE_SERIAL),
+    "seeded": (_seeded, SEEDED_SERIAL),
+    "chaos": (_chaos, CHAOS_SERIAL),
+}
+
+
+@pytest.fixture(scope="module")
+def serial():
+    """Serial reference runs, computed once per scenario."""
+    out = {}
+    for name, (make, _digest) in SCENARIOS.items():
+        deliveries, trace = run_serial(make())
+        out[name] = (deliveries, trace)
+    return out
+
+
+# ----------------------------------------------------------------------
+# Partitioner
+# ----------------------------------------------------------------------
+def test_partition_covers_every_switch_with_nonempty_shards():
+    topo = smoke_scenario().topo
+    for shards in (1, 2, 3, 4, 8):
+        plan = partition_switches(topo, shards, seed=0)
+        assert len(plan.shard_of_switch) == topo.num_switches
+        assert all(0 <= s < shards for s in plan.shard_of_switch)
+        for shard in range(shards):
+            assert plan.switches_of(shard), f"shard {shard} is empty"
+
+
+def test_partition_boundary_links_are_exactly_the_cut():
+    topo = smoke_scenario().topo
+    plan = partition_switches(topo, 4, seed=0)
+    cut = {
+        lk.link_id
+        for lk in topo.links
+        if plan.shard_of_switch[lk.a.switch] != plan.shard_of_switch[lk.b.switch]
+    }
+    assert set(plan.boundary_links) == cut
+
+
+def test_partition_is_deterministic_per_seed():
+    topo = _seeded().topo
+    a = partition_switches(topo, 4, seed=3)
+    b = partition_switches(topo, 4, seed=3)
+    assert a.shard_of_switch == b.shard_of_switch
+    assert a.boundary_links == b.boundary_links
+
+
+def test_lookahead_is_min_boundary_padding():
+    scen = _seeded()
+    plan = partition_switches(scen.topo, 4, seed=0)
+    assert plan.lookahead(scen.params) == (
+        scen.params.switch_delay + scen.params.link_delay
+    )
+    solo = partition_switches(scen.topo, 1, seed=0)
+    assert not solo.boundary_links
+    assert solo.lookahead(scen.params) == float("inf")
+
+
+# ----------------------------------------------------------------------
+# Serial reference is pinned
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+def test_serial_digest_pinned(serial, name):
+    _deliveries, trace = serial[name]
+    assert trace.digest() == SCENARIOS[name][1]
+
+
+# ----------------------------------------------------------------------
+# One shard: raw byte-identity, message-free drain
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+def test_one_shard_is_raw_byte_identical(serial, name):
+    make, pinned = SCENARIOS[name]
+    result = ShardSimulation(make(), num_shards=1).run()
+    deliveries, trace = serial[name]
+    assert result.digest == trace.digest() == pinned
+    assert result.deliveries == deliveries
+    assert result.messages == 0
+
+
+def test_zero_boundary_partition_degenerates_to_serial_drain(serial):
+    """Infinite lookahead: one unbounded drain per fault interval."""
+    result = ShardSimulation(_chaos(), num_shards=1).run()
+    assert result.plan.lookahead(_chaos().params) == float("inf")
+    # two faults => three drain intervals, zero boundary traffic
+    assert result.rounds == 3
+    assert result.messages == 0
+    assert result.digest == CHAOS_SERIAL
+
+
+# ----------------------------------------------------------------------
+# Any shard count: canonical byte-identity, exact deliveries
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("shards", [2, 4, 8])
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+def test_sharded_run_witnesses_serial(serial, name, shards):
+    make, _pinned = SCENARIOS[name]
+    result = ShardSimulation(make(), num_shards=shards).run()
+    deliveries, trace = serial[name]
+    assert result.canonical == canonical_digest(trace.records())
+    assert result.deliveries == deliveries
+    assert len(result.trace) == len(trace)
+    assert result.messages > 0  # the cut was actually exercised
+
+
+@pytest.mark.parametrize("shards", [2, 4])
+def test_sharded_run_replays_byte_identically(shards):
+    """Same scenario, same shard count: the merged raw digest is stable."""
+    first = ShardSimulation(_chaos(), num_shards=shards).run()
+    again = ShardSimulation(_chaos(), num_shards=shards).run()
+    assert first.digest == again.digest
+    assert first.deliveries == again.deliveries
+
+
+# ----------------------------------------------------------------------
+# Replicated fault transaction
+# ----------------------------------------------------------------------
+def test_fault_records_match_serial_sequence(serial):
+    _deliveries, trace = serial["chaos"]
+    want = [
+        (r.time, r.event, r.worm, r.detail)
+        for r in trace.records()
+        if r.event in ("fault", "fault-skip", "abort", "reconfig")
+    ]
+    for shards in (2, 4):
+        result = ShardSimulation(_chaos(), num_shards=shards).run()
+        got = [
+            (r.time, r.event, r.worm, r.detail)
+            for r in result.trace.records()
+            if r.event in ("fault", "fault-skip", "abort", "reconfig")
+        ]
+        assert got == want
+
+
+def test_invalid_fault_skips_identically(serial):
+    scen = _chaos_with_skip()
+    deliveries, trace = run_serial(scen)
+    for shards in (1, 2):
+        result = ShardSimulation(scen, num_shards=shards).run()
+        assert result.canonical == canonical_digest(trace.records())
+        assert result.deliveries == deliveries
+        skips = [
+            r for r in result.trace.records() if r.event == "fault-skip"
+        ]
+        assert len(skips) == 1 and "link 999" in skips[0].detail
+
+
+# ----------------------------------------------------------------------
+# Guard rails
+# ----------------------------------------------------------------------
+def test_merge_refuses_evicted_traces():
+    rep = ShardReport(
+        shard_id=0,
+        deliveries={},
+        records=[],
+        fault_indices=[],
+        events_fired=0,
+        messages_sent=0,
+        dropped_records=5,
+    )
+    with pytest.raises(RuntimeError, match="evicted"):
+        merge_traces([rep])
+
+
+def test_scenario_rejects_unsorted_jobs():
+    scen = smoke_scenario()
+    with pytest.raises(ValueError, match="sorted by start time"):
+        ShardScenario(
+            scen.topo,
+            scen.params,
+            jobs=((25, 14, (3, 4)), (0, 7, (0, 8))),
+        )
+
+
+def test_scenario_generator_is_deterministic():
+    a = _seeded()
+    b = _seeded()
+    assert a.jobs == b.jobs
+    assert isinstance(a.params, SimParams)

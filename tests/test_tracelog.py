@@ -45,6 +45,29 @@ class TestTraceLog:
         with pytest.raises(ValueError):
             TraceLog(capacity=0)
 
+    def test_digest_is_capacity_independent(self):
+        # The witness must cover the full run, not the retained ring tail:
+        # a tiny ring that evicted almost everything still digests
+        # identically to an unbounded log of the same emissions.
+        big, tiny = TraceLog(), TraceLog(capacity=3)
+        for i in range(50):
+            for log in (big, tiny):
+                log.emit(float(i), "e", f"w{i % 4}", f"detail {i}")
+        assert tiny.dropped == 47
+        assert big.dropped == 0
+        assert tiny.digest() == big.digest()
+
+    def test_digest_streams_across_clear(self):
+        # clear() resets what records() can show, never the witness.
+        log, ref = TraceLog(), TraceLog()
+        log.emit(1.0, "e", "w", "a")
+        ref.emit(1.0, "e", "w", "a")
+        log.clear()
+        log.emit(2.0, "e", "w", "b")
+        ref.emit(2.0, "e", "w", "b")
+        assert len(log) == 1
+        assert log.digest() == ref.digest()
+
     def test_record_str(self):
         r = TraceRecord(5.0, "grant", "w", "ch")
         assert "grant" in str(r) and "5.0" in str(r)

@@ -112,6 +112,27 @@ class TestContention:
         assert t2 > t1
         assert t2 - t1 >= net.params.packet_flits - 10
 
+    def test_quiescence_rejects_pending_events(self):
+        # A scheduled-but-unfired event is not quiescent even though every
+        # channel and CPU is idle; the diagnostic names the next fire time.
+        net = SimNetwork(make_line(3), SimParams())
+        net.engine.at(500, lambda: None)
+        with pytest.raises(AssertionError, match="pending.*t=500"):
+            net.assert_quiescent()
+        net.run()
+        net.assert_quiescent()
+
+    def test_network_run_plumbs_max_events(self):
+        # The network API exposes the engine's runaway safety valve.
+        net = SimNetwork(make_line(3), SimParams())
+
+        def respawn() -> None:
+            net.engine.after(0, respawn)
+
+        net.engine.after(0, respawn)
+        with pytest.raises(RuntimeError, match="max_events=50"):
+            net.run(max_events=50)
+
     def test_release_allows_reuse(self):
         # After a worm completes, the same path is immediately reusable.
         net = SimNetwork(make_line(3), SimParams())
