@@ -1,0 +1,208 @@
+"""Group-churn repair cost: incremental patches vs replan-every-change.
+
+Drives one seeded join/leave stream through two dynamic groups -- one
+that grafts/prunes its multicast plan in place, one that replans from
+scratch on every membership change -- and records, per (scheme, group
+size, churn rate):
+
+* wall-clock time spent applying the membership changes on each side
+  (the planner-work saving incremental repair buys);
+* the patched side's replan fraction (how often a patch fell back to a
+  full replan: legality, quality bound, or epoch staleness);
+* patched-vs-fresh plan-cost ratios from the paired harness (the twin's
+  plan *is* the fresh plan, so the quality drift is measured exactly);
+* the delivery-identity verdict -- the differential that makes the
+  timing comparison meaningful at all.
+
+Run directly to produce the pinned sweep artifact::
+
+    PYTHONPATH=src python benchmarks/bench_groups.py [-o BENCH_groups.json]
+
+The ``smoke`` tests at the bottom are the CI churn regression baseline
+(CI runs ``pytest benchmarks/bench_groups.py -k smoke``): a fixed-seed
+paired run that must keep delivery sets identical with a bounded replan
+fraction, plus timings for the artifact history.
+"""
+
+import argparse
+import json
+import time
+
+from repro.groups import DynamicGroupManager, churn_stream, run_paired_churn
+from repro.groups.churn import derive_seed
+from repro.params import SimParams
+from repro.sim.network import SimNetwork
+from repro.topology.irregular import generate_irregular_topology
+
+SWEEP_SCHEMES = ("tree", "path")
+SWEEP_SIZES = (4, 8, 16)
+SWEEP_RATES = (0.5, 1.0)
+SWEEP_STEPS = 120
+SWEEP_SEED = 11
+
+
+def _build(seed: int, group_size: int):
+    """One network + initial membership + churn stream, all from the seed."""
+    import random
+
+    params = SimParams()
+    topo = generate_irregular_topology(params, seed=derive_seed(seed, "topology"))
+    params = params.replace(
+        num_switches=topo.num_switches, num_nodes=topo.num_nodes
+    )
+    net = SimNetwork(topo, params)
+    pool = [n for n in range(params.num_nodes) if n != 0]
+    rng = random.Random(derive_seed(seed, "members"))
+    initial = tuple(sorted(rng.sample(pool, group_size)))
+    return net, params, pool, initial
+
+
+def time_membership_changes(
+    scheme: str, group_size: int, rate: float, steps: int, seed: int
+) -> dict:
+    """Wall time of one churn stream's membership changes, patched vs replan.
+
+    Both sides run on identical fresh networks and apply the identical
+    event stream; only the repair flag differs, so the timing difference
+    is exactly the planner work the patches avoid.
+    """
+    sides = {}
+    for label, repair in (("patched", True), ("replanned", False)):
+        net, _params, pool, initial = _build(seed, group_size)
+        events = churn_stream(
+            seed, steps, tuple(pool), 0, initial, rate
+        )
+        g = DynamicGroupManager(net, default_scheme=scheme).create(
+            0, list(initial), repair=repair
+        )
+        t0 = time.perf_counter()
+        for ev in events:
+            if ev.op == "join":
+                g.join(ev.node)
+            else:
+                g.leave(ev.node)
+        elapsed = time.perf_counter() - t0
+        sides[label] = {
+            "churn_s": round(elapsed, 4),
+            "events": len(events),
+            "replans": g.stats.replans,
+        }
+    patched, replanned = sides["patched"], sides["replanned"]
+    return {
+        "patched_churn_s": patched["churn_s"],
+        "replanned_churn_s": replanned["churn_s"],
+        "events": patched["events"],
+        "patched_replans": patched["replans"],
+        "speedup": round(
+            replanned["churn_s"] / patched["churn_s"], 3
+        ) if patched["churn_s"] else None,
+    }
+
+
+def run_sweep(
+    schemes=SWEEP_SCHEMES, sizes=SWEEP_SIZES, rates=SWEEP_RATES,
+    steps=SWEEP_STEPS, seed=SWEEP_SEED,
+) -> dict:
+    results = []
+    for scheme in schemes:
+        for size in sizes:
+            for rate in rates:
+                timing = time_membership_changes(
+                    scheme, size, rate, steps, seed
+                )
+                report = run_paired_churn(
+                    SimParams(), scheme, seed=seed, steps=steps,
+                    group_size=size, churn_rate=rate, table_capacity=8,
+                )
+                if not report.delivery_identical:
+                    raise AssertionError(
+                        f"patched and replanned deliveries diverged for "
+                        f"{scheme}/size={size}/rate={rate}: "
+                        f"{report.mismatches[:3]}"
+                    )
+                results.append({
+                    "scheme": scheme,
+                    "group_size": size,
+                    "churn_rate": rate,
+                    **timing,
+                    "replan_fraction": round(
+                        report.patched_stats["replan_fraction"], 4
+                    ),
+                    "max_cost_ratio": round(report.max_cost_ratio, 4),
+                    "mean_cost_ratio": round(report.mean_cost_ratio, 4),
+                    "delivery_identical": report.delivery_identical,
+                    "verify_failures": report.verify_failures,
+                    "tables": report.table_stats,
+                    "digest": report.digest(),
+                })
+    return {
+        "bench": "group-churn",
+        "steps": steps,
+        "seed": seed,
+        "note": (
+            "speedup compares wall time of membership changes only "
+            "(patched grafts/prunes vs replanning from scratch); "
+            "cost ratios compare the patched plan's static link cost "
+            "against the replan-every-change twin's fresh plan"
+        ),
+        "results": results,
+    }
+
+
+# ----------------------------------------------------------------------
+# CI smoke baseline
+# ----------------------------------------------------------------------
+def test_smoke_paired_churn_identical_and_bounded():
+    report = run_paired_churn(
+        SimParams(), "tree", seed=SWEEP_SEED, steps=30, group_size=6,
+        churn_rate=0.8, table_capacity=4,
+    )
+    assert report.delivery_identical, report.mismatches
+    assert report.verify_failures == 0
+    assert report.patched_stats["replan_fraction"] <= 0.2
+
+
+def test_smoke_patched_churn_speed(benchmark):
+    res = benchmark.pedantic(
+        lambda: time_membership_changes("tree", 6, 0.8, 30, SWEEP_SEED),
+        rounds=3, iterations=1,
+    )
+    assert res["events"] > 0
+
+
+def test_smoke_path_repair_speed(benchmark):
+    res = benchmark.pedantic(
+        lambda: time_membership_changes("path", 6, 0.8, 30, SWEEP_SEED),
+        rounds=3, iterations=1,
+    )
+    assert res["events"] > 0
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "-o", "--output", default="BENCH_groups.json",
+        help="where to write the sweep JSON (default: %(default)s)",
+    )
+    parser.add_argument("--steps", type=int, default=SWEEP_STEPS)
+    parser.add_argument("--seed", type=int, default=SWEEP_SEED)
+    args = parser.parse_args()
+    payload = run_sweep(steps=args.steps, seed=args.seed)
+    with open(args.output, "w") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+    for entry in payload["results"]:
+        print(
+            f"{entry['scheme']:>5} size={entry['group_size']:>2} "
+            f"rate={entry['churn_rate']:.2f}: "
+            f"patch {entry['patched_churn_s']:.3f}s vs "
+            f"replan {entry['replanned_churn_s']:.3f}s "
+            f"({entry['speedup']}x), "
+            f"replan_fraction={entry['replan_fraction']:.3f}, "
+            f"mean_cost_ratio={entry['mean_cost_ratio']:.3f}"
+        )
+    print(f"wrote {args.output}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,132 +1,14 @@
-"""Persistent multicast groups (MPI-communicator-style management).
+"""Compatibility shim: group management moved to :mod:`repro.groups`.
 
-Real systems multicast to *registered groups* (an MPI communicator, a DSM
-sharer set), not to ad-hoc destination lists: plans are computed when the
-group (or membership) changes, and every send reuses them.  This manager
-provides that lifecycle on top of any multicast scheme, with plan
-invalidation on membership change.
+The MPI-communicator-style :class:`MulticastGroup` / :class:`GroupManager`
+lifecycle grew a churn layer (incremental plan repair, bounded switch
+multicast tables, a seeded churn driver) and now lives in the
+:mod:`repro.groups` package; this module re-exports the static classes so
+existing importers (``repro.mpi``, older tests) keep working.
 """
 
 from __future__ import annotations
 
-from typing import Callable
+from repro.groups.membership import GroupManager, MulticastGroup
 
-from repro.multicast import make_scheme
-from repro.multicast.base import MulticastResult, MulticastScheme
-from repro.sim.network import SimNetwork
-
-
-class MulticastGroup:
-    """One registered group: a root, members, and a cached plan."""
-
-    def __init__(
-        self,
-        net: SimNetwork,
-        group_id: int,
-        root: int,
-        members: list[int],
-        scheme: MulticastScheme,
-    ) -> None:
-        self.net = net
-        self.group_id = group_id
-        self.root = root
-        self.scheme = scheme
-        self._members: set[int] = set()
-        for m in members:
-            self._validate_node(m)
-            self._members.add(m)
-        self._validate_node(root)
-        if root in self._members:
-            raise ValueError("root is implicitly a member; do not list it")
-        if not self._members:
-            raise ValueError("group needs at least one non-root member")
-        self.sends = 0
-
-    def _validate_node(self, node: int) -> None:
-        if not 0 <= node < self.net.topo.num_nodes:
-            raise ValueError(f"node {node} out of range")
-
-    # ------------------------------------------------------------------
-    # Membership
-    # ------------------------------------------------------------------
-    @property
-    def members(self) -> frozenset[int]:
-        """Current non-root members."""
-        return frozenset(self._members)
-
-    def join(self, node: int) -> None:
-        """Add a member; invalidates cached plans."""
-        self._validate_node(node)
-        if node == self.root:
-            raise ValueError("root is already in the group")
-        if node in self._members:
-            raise ValueError(f"node {node} already a member")
-        self._members.add(node)
-        self._invalidate()
-
-    def leave(self, node: int) -> None:
-        """Remove a member; invalidates cached plans."""
-        if node not in self._members:
-            raise ValueError(f"node {node} not a member")
-        self._members.remove(node)
-        if not self._members:
-            raise ValueError("cannot remove the last member")
-        self._invalidate()
-
-    def _invalidate(self) -> None:
-        self.scheme.enable_plan_cache()  # fresh, empty cache
-
-    # ------------------------------------------------------------------
-    # Communication
-    # ------------------------------------------------------------------
-    def send(
-        self,
-        on_complete: Callable[[MulticastResult], None] | None = None,
-    ) -> MulticastResult:
-        """Multicast one message from the root to the current members."""
-        self.sends += 1
-        return self.scheme.execute(
-            self.net, self.root, sorted(self._members), on_complete
-        )
-
-
-class GroupManager:
-    """Registry of multicast groups on one network."""
-
-    def __init__(self, net: SimNetwork, default_scheme: str = "tree") -> None:
-        self.net = net
-        self.default_scheme = default_scheme
-        self._groups: dict[int, MulticastGroup] = {}
-        self._next_id = 0
-
-    def create(
-        self,
-        root: int,
-        members: list[int],
-        scheme_name: str | None = None,
-        **scheme_kw,
-    ) -> MulticastGroup:
-        """Register a group; returns the handle (ids are never reused)."""
-        scheme = make_scheme(scheme_name or self.default_scheme, **scheme_kw)
-        scheme.enable_plan_cache()
-        group = MulticastGroup(
-            self.net, self._next_id, root, members, scheme
-        )
-        self._groups[self._next_id] = group
-        self._next_id += 1
-        return group
-
-    def get(self, group_id: int) -> MulticastGroup:
-        try:
-            return self._groups[group_id]
-        except KeyError:
-            raise ValueError(f"no group {group_id}")
-
-    def destroy(self, group_id: int) -> None:
-        """Unregister a group."""
-        if group_id not in self._groups:
-            raise ValueError(f"no group {group_id}")
-        del self._groups[group_id]
-
-    def __len__(self) -> int:
-        return len(self._groups)
+__all__ = ["GroupManager", "MulticastGroup"]

@@ -62,6 +62,11 @@ class ExperimentResult:
         # One {x: y} map per series up front: cell lookup is O(1) instead
         # of an O(n) list scan per cell (O(n^2) per column overall).
         lookups = [s.y_by_x() for s in self.series]
+        # Latency figures read best as whole cycles, but fractional
+        # metrics (e.g. replan fractions in [0, 1]) would all round to 0.
+        finite = [y for s in self.series for y in s.y if y is not None]
+        fmt = "{:.0f}" if not finite or max(abs(y) for y in finite) >= 10 \
+            else "{:.3g}"
         header = [self.x_label] + [s.label for s in self.series]
         rows: list[list[str]] = []
         for x in xs:
@@ -71,7 +76,7 @@ class ExperimentResult:
                 if v is _ABSENT:
                     row.append("-")
                 else:
-                    row.append("sat" if v is None else f"{v:.0f}")
+                    row.append("sat" if v is None else fmt.format(v))
             rows.append(row)
         widths = [
             max(len(header[c]), *(len(r[c]) for r in rows)) if rows else len(header[c])

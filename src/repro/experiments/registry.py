@@ -33,6 +33,7 @@ from repro.experiments import (
     fig09_load_ratio,
     fig10_load_switches,
     fig11_load_msglen,
+    group_churn,
     shard_scaling,
 )
 from repro.experiments.base import ExperimentResult
@@ -67,6 +68,7 @@ EXPERIMENTS: dict[str, Callable[[Profile], ExperimentResult]] = {
     "ablation-header": ablation.run_header_capacity,
     "ablation-fixedk": ablation.run_fixed_k,
     "shard-scaling": shard_scaling.run,
+    "group-churn": group_churn.run,
 }
 
 PAPER_FIGURES = ("fig06", "fig07", "fig08", "fig09", "fig10", "fig11")

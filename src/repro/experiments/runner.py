@@ -202,6 +202,28 @@ def run_cell(cell: Cell) -> dict:
             "boundary_links": len(res.plan.boundary_links),
             "canonical_digest": res.canonical,
         }
+    if cell.kind == "churn":
+        from repro.groups import run_paired_churn
+
+        # One paired churn run: a patched (graft/prune) dynamic group and a
+        # replan-every-change twin driven through one seeded membership
+        # stream.  The seed key excludes the scheme (the pairing rule), so
+        # every scheme sees the identical topology and churn decisions.
+        report = run_paired_churn(
+            cell.params,
+            cell.scheme,
+            seed=cell.seed,
+            steps=int(cell.knob("steps")),
+            group_size=int(cell.coord("size")),
+            churn_rate=float(cell.coord("rate")),
+            quality_bound=float(cell.knob("quality_bound")),
+            table_capacity=cell.knob("table_capacity"),
+            table_policy=str(cell.knob("table_policy")),
+            scheme_kw=dict(cell.scheme_kw),
+        )
+        value = report.to_value()
+        value["digest"] = report.digest()
+        return value
     raise ValueError(f"unknown cell kind {cell.kind!r}")
 
 

@@ -60,7 +60,8 @@ def cmd_run(args: argparse.Namespace) -> int:
             _out(f"budget exhausted after {executed} iteration(s)")
             break
         scenario = generate_scenario(args.seed, index,
-                                     fault_rate=args.fault_rate)
+                                     fault_rate=args.fault_rate,
+                                     churn_rate=args.churn_rate)
         report = run_oracles(scenario)
         executed += 1
         skipped += len(report.skipped)
@@ -169,12 +170,13 @@ def cmd_corpus(args: argparse.Namespace) -> int:
             sc.degraded_links else ""
         chaos = f" faults={[lk for _t, lk in sc.fault_schedule]}" if \
             sc.fault_schedule else ""
+        churn = f" churn={len(sc.churn_ops)}" if sc.churn_ops else ""
         _out(
             f"{path.name}: switches={sc.topo.num_switches} "
             f"nodes={sc.topo.num_nodes} links={len(sc.topo.links)} "
             f"dests={len(sc.dests)} "
             f"schemes=[{', '.join(spec_label(s) for s in sc.schemes)}]"
-            f"{degraded}{chaos}"
+            f"{degraded}{chaos}{churn}"
         )
     _out(f"{len(entries)} corpus entr{'y' if len(entries) == 1 else 'ies'}")
     return 0
@@ -203,6 +205,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--fault-rate", type=float, default=0.3,
                        help="probability a scenario carries a mid-run "
                             "fault schedule (0 disables chaos mode)")
+    p_run.add_argument("--churn-rate", type=float, default=0.25,
+                       help="probability a scenario carries a membership "
+                            "churn stream (0 disables churn mode)")
     p_run.add_argument("--no-minimize", action="store_true",
                        help="save raw failures without shrinking")
     p_run.add_argument("--verbose", action="store_true",

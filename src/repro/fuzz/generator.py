@@ -117,14 +117,45 @@ def _draw_fault_schedule(
     return tuple(pairs)
 
 
+def _draw_churn_ops(
+    rng: random.Random, num_nodes: int, source: int, dests: tuple[int, ...]
+) -> tuple[tuple[str, int], ...]:
+    """A short valid join/leave stream over the scenario's group.
+
+    Availability-clamped the same way the scenario validator checks: joins
+    pick from outside the group, leaves never take the last member, the
+    root never churns.
+    """
+    members = set(dests)
+    ops: list[tuple[str, int]] = []
+    for _ in range(rng.randint(2, 6)):
+        outside = sorted(set(range(num_nodes)) - members - {source})
+        can_join = bool(outside)
+        can_leave = len(members) > 1
+        if not can_join and not can_leave:
+            break
+        if can_join and (not can_leave or rng.random() < 0.5):
+            node = outside[rng.randrange(len(outside))]
+            members.add(node)
+            ops.append(("join", node))
+        else:
+            pool = sorted(members)
+            node = pool[rng.randrange(len(pool))]
+            members.remove(node)
+            ops.append(("leave", node))
+    return tuple(ops)
+
+
 def generate_scenario(
-    base_seed: int, index: int, fault_rate: float = 0.3
+    base_seed: int, index: int, fault_rate: float = 0.3,
+    churn_rate: float = 0.25,
 ) -> FuzzScenario:
     """Scenario ``index`` of the run seeded by ``base_seed`` (pure function).
 
     ``fault_rate`` is the probability that the scenario carries a runtime
-    fault schedule (chaos mode); pass 0.0 to generate only fault-free
-    scenarios.  The chance draw happens either way, so the rest of the
+    fault schedule (chaos mode); ``churn_rate`` the probability it carries
+    a membership churn stream (churn mode).  Pass 0.0 to disable either.
+    Each chance draw happens regardless of its rate, so the rest of the
     scenario is identical across rates for the same ``(seed, index)``.
     """
     rng = random.Random(derive_seed(base_seed, "fuzz-scenario", index))
@@ -155,6 +186,9 @@ def generate_scenario(
     fault_schedule: tuple[tuple[float, int], ...] = ()
     if rng.random() < fault_rate:
         fault_schedule = _draw_fault_schedule(rng, topo)
+    churn_ops: tuple[tuple[str, int], ...] = ()
+    if rng.random() < churn_rate:
+        churn_ops = _draw_churn_ops(rng, n, source, dests)
     return FuzzScenario(
         topo=topo,
         params=params,
@@ -164,5 +198,6 @@ def generate_scenario(
         compare_backends=True,
         degraded_links=failed,
         fault_schedule=fault_schedule,
+        churn_ops=churn_ops,
         label=f"seed={base_seed}/iter={index}",
     )

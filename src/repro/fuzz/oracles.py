@@ -41,7 +41,13 @@ every fuzz scenario:
 * **chaos** -- for scenarios with a runtime fault schedule
   (:mod:`repro.chaos`): every armed fault is accounted for (fired or
   skipped), no send gives up (exactly-once-after-retry), and a second run
-  of the same seed + schedule produces a byte-identical trace digest.
+  of the same seed + schedule produces a byte-identical trace digest;
+* **churn** -- for scenarios with a membership churn stream
+  (:mod:`repro.groups`): a graft/prune-patched dynamic group and a
+  replan-every-change twin are driven through the same join/leave ops,
+  and after every op both must deliver exactly the current member set
+  (exactly-once under churn), with every accepted patch passing the
+  static plan verifiers.
 
 Chaos scenarios change the dynamic checks, not the bar: each scheme is
 wrapped in :class:`~repro.chaos.ReliableMulticast`, deliveries are the
@@ -96,6 +102,7 @@ ORACLES = (
     "scheme-differential",
     "backend-differential",
     "chaos",
+    "churn",
 )
 """Every oracle name, in report order."""
 
@@ -143,6 +150,8 @@ class ScenarioReport:
             head += f" degraded={list(sc.degraded_links)}"
         if sc.fault_schedule:
             head += f" faults={[lk for _t, lk in sc.fault_schedule]}"
+        if sc.churn_ops:
+            head += f" churn={[f'{op}:{n}' for op, n in sc.churn_ops]}"
         if sc.label:
             head += f" ({sc.label})"
         lines = [head]
@@ -472,6 +481,72 @@ def _check_backends(scenario: FuzzScenario, report: ScenarioReport) -> None:
             "delivery maps disagree: " + "; ".join(diff)))
 
 
+def _check_churn(scenario: FuzzScenario, report: ScenarioReport) -> None:
+    """Churn differential: patched dynamic group vs replan-every-change twin.
+
+    Runs fault-free on a fresh network per scheme (the chaos injector and
+    the churn stream are orthogonal stressors; their interaction is covered
+    by the paired-churn harness's ``fault_steps``).  After the initial send
+    and after every op, both groups must deliver exactly the current member
+    set, and every patch the patched group accepted must have passed the
+    static verifiers (surfaced through its ``verify_failures`` counter).
+    """
+    from repro.groups import DynamicGroupManager
+
+    for spec in scenario.schemes:
+        label = spec_label(spec)
+        try:
+            net = SimNetwork(scenario.topo, scenario.params)
+            patched_mgr = DynamicGroupManager(net, default_scheme=spec[0])
+            twin_mgr = DynamicGroupManager(net, default_scheme=spec[0])
+            kw = dict(spec[1])
+            patched = patched_mgr.create(
+                scenario.source, list(scenario.dests), repair=True, **kw)
+            twin = twin_mgr.create(
+                scenario.source, list(scenario.dests), repair=False, **kw)
+            stages = [("initial", None)] + [
+                (f"op {i} ({op} {node})", (op, node))
+                for i, (op, node) in enumerate(scenario.churn_ops)
+            ]
+            for stage, change in stages:
+                if change is not None:
+                    op, node = change
+                    for g in (patched, twin):
+                        if op == "join":
+                            g.join(node)
+                        else:
+                            g.leave(node)
+                want = tuple(sorted(patched.members))
+                rp = patched.send()
+                net.engine.run(max_events=MAX_EVENTS)
+                rt_ = twin.send()
+                net.engine.run(max_events=MAX_EVENTS)
+                delivered_patched = tuple(sorted(rp.delivery_times))
+                delivered_twin = tuple(sorted(rt_.delivery_times))
+                if not rp.complete or delivered_patched != want:
+                    report.violations.append(Violation(
+                        "churn", label,
+                        f"{stage}: patched group delivered {list(delivered_patched)}, "
+                        f"members are {list(want)}"))
+                if delivered_twin != delivered_patched:
+                    report.violations.append(Violation(
+                        "churn", label,
+                        f"{stage}: patched {list(delivered_patched)} != "
+                        f"replanned {list(delivered_twin)}"))
+            if patched.stats.verify_failures:
+                report.violations.append(Violation(
+                    "churn", label,
+                    f"repair produced {patched.stats.verify_failures} "
+                    "illegal patch(es) (caught by the static verifiers "
+                    "and replanned, but the repair functions promise "
+                    "legal-or-None)"))
+        except (RuntimeError, ValueError, AssertionError, KeyError,
+                TypeError) as exc:
+            report.violations.append(Violation(
+                "churn", label,
+                f"churn run crashed: {type(exc).__name__}: {exc}"))
+
+
 def run_oracles(scenario: FuzzScenario) -> ScenarioReport:
     """Run every oracle on one scenario; the full differential pass."""
     report = ScenarioReport(scenario=scenario)
@@ -494,6 +569,9 @@ def run_oracles(scenario: FuzzScenario) -> ScenarioReport:
         report.violations.extend(violations)
         if deliveries is not None:
             report.deliveries[spec_label(spec)] = deliveries
+
+    if scenario.churn_ops:
+        _check_churn(scenario, report)
 
     # scheme-differential: identical delivery sets across the roster.
     by_set: dict[tuple[int, ...], list[str]] = {}

@@ -71,6 +71,13 @@ class FuzzScenario:
     legality, and the backend differential is skipped (the flit-level
     reference has no fault support).  Empty means today's fault-free run."""
 
+    churn_ops: tuple[tuple[str, int], ...] = ()
+    """Membership churn ops ``("join"|"leave", node)`` applied in order to a
+    dynamic group rooted at ``source`` with initial members ``dests`` (churn
+    mode): the oracle drives a graft/prune-patched group and a
+    replan-every-change twin through the stream and requires identical
+    delivery sets after every op.  Empty means a static destination set."""
+
     label: str = ""
     """Free-form provenance tag, e.g. ``seed=7/iter=13``."""
 
@@ -89,6 +96,24 @@ class FuzzScenario:
         for t, _link in self.fault_schedule:
             if t < 0:
                 raise ValueError("fault times must be non-negative")
+        members = set(self.dests)
+        for op, node in self.churn_ops:
+            if op not in ("join", "leave"):
+                raise ValueError(f"unknown churn op {op!r}")
+            if not 0 <= node < self.topo.num_nodes:
+                raise ValueError(f"churn node {node} outside the topology")
+            if node == self.source:
+                raise ValueError("the group root never churns")
+            if op == "join":
+                if node in members:
+                    raise ValueError(f"join of existing member {node}")
+                members.add(node)
+            else:
+                if node not in members:
+                    raise ValueError(f"leave of non-member {node}")
+                if len(members) == 1:
+                    raise ValueError("churn must never empty the group")
+                members.remove(node)
 
     # ------------------------------------------------------------------
     # Serialization
@@ -96,9 +121,9 @@ class FuzzScenario:
     def to_dict(self) -> dict:
         """JSON-ready plain-data form (stable key order via json dumps).
 
-        ``fault_schedule`` is omitted when empty so fault-free scenarios
-        keep the digests (and corpus file names) they had before chaos
-        mode existed.
+        ``fault_schedule`` and ``churn_ops`` are omitted when empty so
+        scenarios without them keep the digests (and corpus file names)
+        they had before chaos/churn mode existed.
         """
         out = {
             "format": FORMAT_VERSION,
@@ -116,6 +141,8 @@ class FuzzScenario:
         }
         if self.fault_schedule:
             out["fault_schedule"] = [[t, lk] for t, lk in self.fault_schedule]
+        if self.churn_ops:
+            out["churn_ops"] = [[op, n] for op, n in self.churn_ops]
         return out
 
     @classmethod
@@ -139,6 +166,9 @@ class FuzzScenario:
             fault_schedule=tuple(
                 (float(t), int(lk))
                 for t, lk in data.get("fault_schedule", ())
+            ),
+            churn_ops=tuple(
+                (str(op), int(n)) for op, n in data.get("churn_ops", ())
             ),
             label=str(data.get("label", "")),
         )
@@ -168,7 +198,7 @@ class FuzzScenario:
             )
         return out
 
-    def size_key(self) -> tuple[int, int, int, int, int]:
+    def size_key(self) -> tuple[int, ...]:
         """Lexicographic 'cost' used by the minimizer to prefer smaller cases."""
         return (
             self.topo.num_switches,
@@ -176,6 +206,7 @@ class FuzzScenario:
             self.topo.num_nodes,
             len(self.topo.links),
             self.params.message_flits,
+            len(self.churn_ops),
         )
 
 

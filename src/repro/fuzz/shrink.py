@@ -17,7 +17,10 @@ and keeps any variant on which the predicate still holds:
   graph connected, renumbering the survivors (and the fault schedule's
   link ids, since :func:`drop_switch` renumbers links densely);
 * **faults** -- drop runtime fault events (a zero- or one-fault chaos
-  reproducer beats two).
+  reproducer beats two);
+* **churn** -- drop membership churn ops (prefix halves, then singles),
+  re-filtered so the surviving stream stays valid against the (possibly
+  shrunken) destination set.
 
 Passes repeat until a full sweep makes no progress, so the result is
 1-minimal with respect to these moves.  Everything is deterministic: moves
@@ -109,6 +112,32 @@ def drop_switch(topo: NetworkTopology, switch: int) -> NetworkTopology | None:
     return candidate if candidate.is_connected() else None
 
 
+def _filter_churn(
+    ops: tuple[tuple[str, int], ...],
+    source: int,
+    dests: tuple[int, ...],
+    num_nodes: int,
+) -> tuple[tuple[str, int], ...]:
+    """The longest subsequence of ``ops`` valid for this group shape.
+
+    Replays the scenario validator's membership simulation, dropping any
+    op the shrunken scenario would reject (leave of a non-member after its
+    drop was removed, join of a node that no longer exists, ...).
+    """
+    members = set(dests)
+    kept: list[tuple[str, int]] = []
+    for op, node in ops:
+        if not 0 <= node < num_nodes or node == source:
+            continue
+        if op == "join" and node not in members:
+            members.add(node)
+            kept.append((op, node))
+        elif op == "leave" and node in members and len(members) > 1:
+            members.remove(node)
+            kept.append((op, node))
+    return tuple(kept)
+
+
 # ----------------------------------------------------------------------
 # Shrink passes (each returns an improved scenario or None)
 # ----------------------------------------------------------------------
@@ -135,7 +164,12 @@ def _shrink_dests(sc: FuzzScenario, failing: Predicate) -> FuzzScenario | None:
     for kept in chunks + singles:
         if not kept:
             continue
-        candidate = sc.with_changes(dests=tuple(kept))
+        candidate = sc.with_changes(
+            dests=tuple(kept),
+            churn_ops=_filter_churn(
+                sc.churn_ops, sc.source, tuple(kept), sc.topo.num_nodes
+            ),
+        )
         if failing(candidate):
             return candidate
     return None
@@ -157,7 +191,7 @@ def _shrink_message(sc: FuzzScenario, failing: Predicate) -> FuzzScenario | None
 
 
 def _shrink_hosts(sc: FuzzScenario, failing: Predicate) -> FuzzScenario | None:
-    used = {sc.source, *sc.dests}
+    used = {sc.source, *sc.dests, *(n for _op, n in sc.churn_ops)}
     spare = [n for n in range(sc.topo.num_nodes) if n not in used]
     if not spare:
         return None
@@ -168,6 +202,9 @@ def _shrink_hosts(sc: FuzzScenario, failing: Predicate) -> FuzzScenario | None:
             topo=topo,
             source=remap[sc.source],
             dests=tuple(remap[d] for d in sc.dests),
+            churn_ops=tuple(
+                (op, remap[n]) for op, n in sc.churn_ops
+            ),
         )
         if failing(candidate):
             return candidate
@@ -227,9 +264,31 @@ def _shrink_faults(sc: FuzzScenario, failing: Predicate) -> FuzzScenario | None:
     return None
 
 
+def _shrink_churn(sc: FuzzScenario, failing: Predicate) -> FuzzScenario | None:
+    if not sc.churn_ops:
+        return None
+    half = len(sc.churn_ops) // 2
+    trials = []
+    if half:
+        trials.extend([sc.churn_ops[:half], sc.churn_ops[half:]])
+    trials.extend(
+        sc.churn_ops[:i] + sc.churn_ops[i + 1:]
+        for i in range(len(sc.churn_ops))
+    )
+    for kept in trials:
+        ops = _filter_churn(kept, sc.source, sc.dests, sc.topo.num_nodes)
+        if len(ops) >= len(sc.churn_ops):
+            continue
+        candidate = sc.with_changes(churn_ops=ops)
+        if failing(candidate):
+            return candidate
+    return None
+
+
 _PASSES = (
     _shrink_schemes,
     _shrink_faults,
+    _shrink_churn,
     _shrink_dests,
     _shrink_hosts,
     _shrink_links,

@@ -1,0 +1,183 @@
+"""Bounded per-switch multicast forwarding tables.
+
+The paper charges switch-based schemes (S11 tree worms, S12 multi-drop
+paths) nothing for the forwarding state they imply; real switches hold a
+*bounded* multicast table (P3FA models exactly this: unified forwarding
+with limited per-switch state).  This module meters that state: every
+switch a group's plan crosses needs one table entry for the group, the
+table holds :attr:`capacity` entries, and a full table resolves the
+conflict through a pluggable policy --
+
+* ``lru`` -- evict the least-recently-used entry (its group must
+  re-install on its next send, modelling a table-miss setup round-trip);
+* ``lfu`` -- evict the least-frequently-used entry (ties broken by
+  recency, then lowest group id, so eviction is deterministic);
+* ``aggregate`` -- never evict: merge the incoming group into the
+  coldest existing entry instead.  A merged ("coarse") entry serves
+  several groups with one slot, the classic prefix-aggregation trade:
+  no misses, but real hardware would overdeliver on the merged entry.
+
+The ledger is purely observational -- it never changes simulated
+deliveries -- so NI-based schemes simply skip it (their per-group state
+lives in host memory, which is exactly the paper's NI-vs-switch
+asymmetry this model sharpens).  All bookkeeping runs on a logical
+clock (install/use counter), never wall time, and iterates sorted
+collections, keeping every charge deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+POLICIES = ("lru", "lfu", "aggregate")
+
+
+@dataclass
+class TableStats:
+    """What the capacity model observed across all switches."""
+
+    installs: int = 0
+    reinstalls: int = 0
+    """Table misses: a group touched a switch its entry had been evicted
+    from and had to re-install (the miss penalty counter)."""
+
+    evictions: int = 0
+    aggregations: int = 0
+    releases: int = 0
+    peak_occupancy: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "installs": self.installs,
+            "reinstalls": self.reinstalls,
+            "evictions": self.evictions,
+            "aggregations": self.aggregations,
+            "releases": self.releases,
+            "peak_occupancy": self.peak_occupancy,
+        }
+
+
+@dataclass
+class _Entry:
+    """One table slot: the groups it serves plus recency/frequency."""
+
+    groups: set[int]
+    last_use: int
+    uses: int = 1
+
+    def key(self, policy: str) -> tuple:
+        """Eviction/merge priority: smallest key goes first."""
+        if policy == "lfu":
+            return (self.uses, self.last_use, min(self.groups))
+        return (self.last_use, self.uses, min(self.groups))
+
+
+class SwitchMulticastTables:
+    """Per-switch bounded multicast tables shared by every group on a net."""
+
+    def __init__(self, num_switches: int, capacity: int,
+                 policy: str = "lru") -> None:
+        if capacity < 1:
+            raise ValueError("table capacity must be >= 1")
+        if policy not in POLICIES:
+            raise ValueError(
+                f"unknown policy {policy!r}; choose from {POLICIES}")
+        self.num_switches = num_switches
+        self.capacity = capacity
+        self.policy = policy
+        self.stats = TableStats()
+        self._entries: list[list[_Entry]] = [[] for _ in range(num_switches)]
+        self._where: dict[int, set[int]] = {}
+        self._clock = 0
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def occupancy(self, switch: int) -> int:
+        """Entries currently held at one switch."""
+        return len(self._entries[switch])
+
+    def holds(self, group_id: int, switch: int) -> bool:
+        """Whether the switch currently has an entry serving the group."""
+        return self._find(switch, group_id) is not None
+
+    def coarse_entries(self) -> int:
+        """Aggregated entries serving more than one group (overdelivery
+        proxy under the ``aggregate`` policy)."""
+        return sum(
+            1 for slots in self._entries for e in slots if len(e.groups) > 1
+        )
+
+    # ------------------------------------------------------------------
+    # Charging
+    # ------------------------------------------------------------------
+    def install(self, group_id: int, switches: tuple[int, ...]) -> None:
+        """Charge a (re)planned footprint: one entry per crossed switch.
+
+        Any previous footprint of the group is released first, so a plan
+        change never leaks entries on switches the new plan avoids.
+        """
+        self.release(group_id)
+        self._where[group_id] = set()
+        for sw in sorted(set(switches)):
+            self._place(sw, group_id)
+
+    def touch(self, group_id: int, switches: tuple[int, ...]) -> None:
+        """Charge one send over the footprint; re-install evicted entries."""
+        for sw in sorted(set(switches)):
+            entry = self._find(sw, group_id)
+            if entry is None:
+                self.stats.reinstalls += 1
+                self._place(sw, group_id)
+            else:
+                self._clock += 1
+                entry.last_use = self._clock
+                entry.uses += 1
+
+    def release(self, group_id: int) -> None:
+        """Drop every entry the group holds (destroy / replan cleanup)."""
+        held = self._where.pop(group_id, None)
+        if not held:
+            return
+        for sw in sorted(held):
+            entry = self._find(sw, group_id)
+            if entry is None:
+                continue
+            entry.groups.discard(group_id)
+            if not entry.groups:
+                self._entries[sw].remove(entry)
+                self.stats.releases += 1
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _find(self, switch: int, group_id: int) -> _Entry | None:
+        for entry in self._entries[switch]:
+            if group_id in entry.groups:
+                return entry
+        return None
+
+    def _place(self, switch: int, group_id: int) -> None:
+        self._clock += 1
+        slots = self._entries[switch]
+        if len(slots) < self.capacity:
+            slots.append(_Entry({group_id}, self._clock))
+            self.stats.installs += 1
+        elif self.policy == "aggregate":
+            victim = min(slots, key=lambda e: e.key(self.policy))
+            victim.groups.add(group_id)
+            victim.last_use = self._clock
+            victim.uses += 1
+            self.stats.aggregations += 1
+        else:
+            victim = min(slots, key=lambda e: e.key(self.policy))
+            slots.remove(victim)
+            for gid in sorted(victim.groups):
+                held = self._where.get(gid)
+                if held is not None:
+                    held.discard(switch)
+            self.stats.evictions += 1
+            slots.append(_Entry({group_id}, self._clock))
+            self.stats.installs += 1
+        self._where.setdefault(group_id, set()).add(switch)
+        self.stats.peak_occupancy = max(self.stats.peak_occupancy, len(slots))

@@ -103,6 +103,63 @@ class MulticastScheme(abc.ABC):
             per_net[full_key] = compute()
         return per_net[full_key]
 
+    def install_plan(self, net: SimNetwork, key: tuple, value) -> bool:
+        """Seed the plan cache with an externally computed plan entry.
+
+        The entry is stored under the network's *current* routing epoch, so
+        a later reconfiguration invalidates it exactly like a computed plan.
+        Used by the group layer to make :meth:`execute` pick up an
+        incrementally repaired plan instead of replanning from scratch.
+        Returns False (and stores nothing) when caching is disabled.
+        """
+        cache = getattr(self, "_plan_cache", None)
+        if cache is None:
+            return False
+        per_net = cache.get(net)
+        if per_net is None:
+            per_net = cache[net] = {}
+        per_net[(net.routing_epoch, key)] = value
+        return True
+
+    def discard_group_plans(self, net: SimNetwork, source: int,
+                            dests: tuple[int, ...]) -> int:
+        """Drop cached plans belonging to one (source, destination-set) group.
+
+        Every scheme in this library keys its per-operation plans as
+        ``(tag, source, ...)`` with any further tuple components drawn from
+        the destination set (``("mdp", src, dests)``, ``("tree", src,
+        dests)``, ``("worm", src, chunk)`` with ``chunk`` a subset of
+        ``dests``, ...), while shared network-wide tables carry no source
+        field (``("downdist",)``).  Matching on that structure -- across
+        every epoch -- lets a group invalidate exactly its own entries
+        without wiping other groups' plans or the shared tables.  A key
+        whose dest components are a *subset* of ``dests`` is also dropped
+        (chunked plans); that can touch a same-source group with a nested
+        destination set, which costs that group one replan but is never
+        unsound.  Returns the number of entries dropped.
+        """
+        cache = getattr(self, "_plan_cache", None)
+        if cache is None:
+            return 0
+        per_net = cache.get(net)
+        if not per_net:
+            return 0
+        dset = frozenset(dests)
+        doomed = []
+        for full_key in per_net:
+            _epoch, key = full_key
+            if len(key) < 2 or key[1] != source:
+                continue  # shared, source-free tables survive
+            if all(
+                frozenset(part) <= dset
+                for part in key[2:]
+                if isinstance(part, tuple)
+            ):
+                doomed.append(full_key)
+        for full_key in doomed:
+            del per_net[full_key]
+        return len(doomed)
+
     @abc.abstractmethod
     def execute(
         self,

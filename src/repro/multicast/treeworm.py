@@ -95,6 +95,52 @@ def plan_tree_worm(net: SimNetwork, source_switch: int,
     )
 
 
+def verify_tree_plan(net: SimNetwork, plan: TreeWormPlan,
+                     dests: list[int]) -> list[str]:
+    """Statically check a (possibly patched) tree-worm route plan.
+
+    The tree analogue of :func:`repro.multicast.pathworm.verify_plan`,
+    used by the group layer to accept or reject an incrementally grafted
+    plan.  Returns human-readable problems (empty when the plan is sound):
+
+    * the up path starts at the source switch, ends at the turn switch,
+      and each consecutive pair is joined by an up-direction link (so the
+      climb is a legal up* prefix by construction);
+    * the turn switch down-covers every destination not already dropped
+      at a switch on the up path (the down* suffix exists -- the header
+      decode then only ever follows down links).
+    """
+    topo, rt, reach = net.topo, net.routing, net.reach
+    problems: list[str] = []
+    path = plan.up_switch_path
+    if not path:
+        return ["up path is empty"]
+    if path[0] != plan.source_switch:
+        problems.append(
+            f"up path starts at switch {path[0]}, "
+            f"not the source switch {plan.source_switch}")
+    if path[-1] != plan.turn_switch:
+        problems.append(
+            f"up path ends at switch {path[-1]}, "
+            f"not the turn switch {plan.turn_switch}")
+    if len(set(path)) != len(path):
+        problems.append("up path revisits a switch")
+    for a, b in zip(path, path[1:]):
+        if not any(
+            lk.other_end(a).switch == b for lk in rt.up_links_of(a)
+        ):
+            problems.append(f"no up-direction link from switch {a} to {b}")
+    remaining = frozenset(dests)
+    for s in path:
+        remaining = remaining - frozenset(topo.nodes_on_switch(s))
+    if not reach.covers(plan.turn_switch, remaining):
+        uncovered = sorted(remaining - reach.down_reach(plan.turn_switch))
+        problems.append(
+            f"turn switch {plan.turn_switch} does not down-cover "
+            f"destinations {uncovered}")
+    return problems
+
+
 class TreeWormScheme(MulticastScheme):
     """Single-phase switch-based multicast via tree-based multi worms.
 

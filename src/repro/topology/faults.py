@@ -18,6 +18,13 @@ Two fault models live in this library:
   with a nack, the live network reconfigures in place via
   :meth:`~repro.sim.network.SimNetwork.reconfigure`, and a retry layer
   redelivers exactly-once on the new orientation.
+
+The same static-vs-runtime split applies to multicast *destinations*:
+the experiments above multicast to destination sets fixed for the whole
+run, while :mod:`repro.groups` lets membership churn mid-run (joins and
+leaves patch the installed plan in place).  The two axes compose -- a
+runtime fault bumps the routing epoch, which invalidates a dynamic
+group's patched plan but never its membership.
 """
 
 from __future__ import annotations

@@ -42,16 +42,33 @@ class TestGroupLifecycle:
 
     def test_join_changes_membership_and_invalidates(self):
         net = default_net()
-        g = GroupManager(net).create(0, [3, 9])
+        mgr = GroupManager(net)
+        g = mgr.create(0, [3, 9])
+        other = mgr.create(0, [4, 8])
         g.send()
+        other.send()
         net.run()
-        assert len(g.scheme._plan_cache) > 0
+        per_net = g.scheme._plan_cache[net]
+        entries_before = len(per_net)
+        assert entries_before > 0
         g.join(21)
-        assert len(g.scheme._plan_cache) == 0  # invalidated
+        # Keyed invalidation: only this group's entries are discarded; the
+        # other group's cached plans (and any shared entries) survive.
+        assert not any(
+            len(sk) >= 2 and sk[1] == 0 and
+            all(set(part) <= {3, 9}
+                for part in sk[2:] if isinstance(part, tuple))
+            for _epoch, sk in per_net
+        )
+        assert len(per_net) > 0
+        assert len(per_net) < entries_before
         assert g.members == frozenset({3, 9, 21})
         res = g.send()
         net.run()
         assert set(res.delivery_times) == {3, 9, 21}
+        res_other = other.send()
+        net.run()
+        assert set(res_other.delivery_times) == {4, 8}
 
     def test_leave(self):
         net = default_net()
