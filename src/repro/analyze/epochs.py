@@ -6,8 +6,9 @@ walks the system through a *sequence* of epochs: each fault removes a link,
 Autonet-style reconfiguration rebuilds the up*/down* orientation, and every
 in-flight retry then runs on the new tables.  A schedule is only safe if
 the multicast-extended channel dependency graph stays acyclic and the
-reachability strings stay a superset of the BFS subtrees at **each** epoch,
-not just the first.
+reachability strings stay consistent with the orientation's own witness
+(BFS subtrees for Autonet's rule, preorder labels for DFS) at **each**
+epoch, not just the first.
 
 This verifier replays a fault schedule purely statically: degrade the
 topology link by link, rebuild :class:`UpDownRouting` +
@@ -28,7 +29,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable
 
-from repro.routing.deadlock import build_multicast_cdg, find_cycle
+from repro.routing.deadlock import (
+    build_escape_cdg,
+    build_multicast_cdg,
+    escape_subgraph,
+    find_cycle,
+)
 from repro.routing.reachability import ReachabilityTable
 from repro.routing.updown import UpDownRouting
 from repro.topology.faults import remove_link
@@ -45,7 +51,8 @@ class EpochProblem:
 
     epoch: int
     kind: str
-    """``cdg-cycle``, ``reachability``, or ``disconnect``."""
+    """``cdg-cycle``, ``escape-cdg-cycle``, ``reachability``, or
+    ``disconnect``."""
 
     detail: str
 
@@ -76,17 +83,53 @@ def _subtree_nodes(
     return out
 
 
-def _check_epoch(
+def _check_reachability_dfs(
     topo: NetworkTopology, routing: UpDownRouting, epoch: int
 ) -> list[EpochProblem]:
+    """Reachability invariants for the DFS-preorder orientation.
+
+    The BFS-subtree premise of :func:`_check_reachability_bfs` does not
+    hold here -- a BFS-tree edge may legitimately point *up* under DFS
+    labels.  The DFS orientation is a total order, so the independent
+    witness is the label assignment itself: every link's up end must be
+    the lower-label end (a full recomputation of the orientation), and
+    the label-0 root must down-reach every node (the tree-worm scheme's
+    covering ancestor).
+    """
+    from repro.routing.dfs_tree import dfs_preorder_labels
+
     problems: list[EpochProblem] = []
-    cycle = find_cycle(build_multicast_cdg(topo, routing))
-    if cycle is not None:
+    labels = dfs_preorder_labels(topo)
+    for lk in topo.links:
+        want = (
+            lk.a.switch
+            if labels[lk.a.switch] < labels[lk.b.switch]
+            else lk.b.switch
+        )
+        if routing.up_end_switch(lk) != want:
+            problems.append(EpochProblem(
+                epoch=epoch, kind="reachability",
+                detail=(f"link {lk.link_id}: up end "
+                        f"{routing.up_end_switch(lk)} contradicts the DFS "
+                        f"preorder labels (expected {want})"),
+            ))
+    reach = ReachabilityTable.build(routing)
+    root = labels.index(0)
+    missing = set(range(topo.num_nodes)) - reach.down_reach(root)
+    if missing:
         problems.append(EpochProblem(
-            epoch=epoch, kind="cdg-cycle",
-            detail=("multicast-extended channel dependency graph has a "
-                    "cycle: " + " -> ".join(map(str, cycle))),
+            epoch=epoch, kind="reachability",
+            detail=(f"DFS root switch {root} fails to down-reach nodes "
+                    f"{sorted(missing)}"),
         ))
+    return problems
+
+
+def _check_reachability_bfs(
+    topo: NetworkTopology, routing: UpDownRouting, epoch: int
+) -> list[EpochProblem]:
+    """Reachability invariants against the independent BFS-tree witness."""
+    problems: list[EpochProblem] = []
     reach = ReachabilityTable.build(routing)
     subtree = _subtree_nodes(topo, routing)
     tree = routing.tree
@@ -122,6 +165,43 @@ def _check_epoch(
     return problems
 
 
+def _check_epoch(
+    topo: NetworkTopology,
+    routing: UpDownRouting,
+    epoch: int,
+    orientation: str = "bfs",
+) -> list[EpochProblem]:
+    problems: list[EpochProblem] = []
+    cycle = find_cycle(build_multicast_cdg(topo, routing))
+    if cycle is not None:
+        problems.append(EpochProblem(
+            epoch=epoch, kind="cdg-cycle",
+            detail=("multicast-extended channel dependency graph has a "
+                    "cycle: " + " -> ".join(map(str, cycle))),
+        ))
+    # Escape-VC fabric: lane 0 must stay an acyclic escape path at every
+    # epoch.  The escape subgraph is lane-count invariant, so vc_count=2 is
+    # a representative of every lane count the fabric may run with.
+    esc_cycle = find_cycle(
+        escape_subgraph(build_escape_cdg(topo, routing, vc_count=2))
+    )
+    if esc_cycle is not None:
+        problems.append(EpochProblem(
+            epoch=epoch, kind="escape-cdg-cycle",
+            detail=("escape-lane (VC 0) channel dependency graph has a "
+                    "cycle: " + " -> ".join(map(str, esc_cycle))),
+        ))
+    # The reachability witness depends on the orientation rule: the BFS
+    # spanning tree for Autonet's rule, the preorder labels for DFS (a
+    # BFS-tree edge may legitimately point up under DFS labels, so the
+    # BFS premise would report false cycles-of-authority there).
+    if orientation == "dfs":
+        problems.extend(_check_reachability_dfs(topo, routing, epoch))
+    else:
+        problems.extend(_check_reachability_bfs(topo, routing, epoch))
+    return problems
+
+
 def verify_epoch_sequence(
     topo: NetworkTopology,
     fault_links: tuple[int, ...] | list[int],
@@ -143,7 +223,9 @@ def verify_epoch_sequence(
     problems: list[EpochProblem] = []
     current = topo
     for epoch in range(len(fault_links) + 1):
-        problems.extend(_check_epoch(current, builder(current, epoch), epoch))
+        problems.extend(
+            _check_epoch(current, builder(current, epoch), epoch, orientation)
+        )
         if epoch == len(fault_links):
             break
         link_id = fault_links[epoch]

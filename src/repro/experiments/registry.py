@@ -35,6 +35,7 @@ from repro.experiments import (
     fig11_load_msglen,
     group_churn,
     shard_scaling,
+    vc_ablation,
 )
 from repro.experiments.base import ExperimentResult
 from repro.experiments.config import PROFILES, Profile
@@ -69,6 +70,7 @@ EXPERIMENTS: dict[str, Callable[[Profile], ExperimentResult]] = {
     "ablation-fixedk": ablation.run_fixed_k,
     "shard-scaling": shard_scaling.run,
     "group-churn": group_churn.run,
+    "vc-ablation": vc_ablation.run,
 }
 
 PAPER_FIGURES = ("fig06", "fig07", "fig08", "fig09", "fig10", "fig11")

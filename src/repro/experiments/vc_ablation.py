@@ -1,0 +1,40 @@
+"""VC ablation: the paper's load comparison with virtual channels.
+
+The paper's NI-vs-switch verdict rests on wormhole blocking: multi-phase NI
+schemes pay for every head-of-line stall of their many short worms, while
+tree/path worms hold long chains of channels.  Both penalties shrink when
+each physical channel carries several virtual channels (the multi-lane
+wormhole MIN study, arXiv:2007.02550), so this experiment reruns the
+fig09/fig10 load grids with ``vc_count`` in {1, 2, 4}: does the scheme
+ranking that drives the paper's conclusion survive when VCs relieve
+blocking?
+
+Variants span the fig09 default system (8 switches) and fig10's larger
+16-switch axis, crossed with the VC count; ``vc_count=1`` reproduces the
+single-lane fabric bit for bit (the vcs=1 identity guarantee), so the VC=1
+curves double as a cross-check against fig09/fig10.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.base import ExperimentResult, load_sweep
+from repro.experiments.config import Profile
+from repro.params import SimParams
+
+VC_COUNTS = (1, 2, 4)
+SWITCH_COUNTS = (8, 16)
+
+
+def run(profile: Profile, base: SimParams | None = None) -> ExperimentResult:
+    base = base or SimParams()
+    variants = {
+        f"S{s}/VC={v}": base.replace(num_switches=s, vc_count=v)
+        for s in SWITCH_COUNTS
+        for v in VC_COUNTS
+    }
+    return load_sweep(
+        "vc-ablation",
+        "Latency under multicast load, varying virtual channels",
+        variants,
+        profile,
+    )

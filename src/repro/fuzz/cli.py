@@ -61,7 +61,9 @@ def cmd_run(args: argparse.Namespace) -> int:
             break
         scenario = generate_scenario(args.seed, index,
                                      fault_rate=args.fault_rate,
-                                     churn_rate=args.churn_rate)
+                                     churn_rate=args.churn_rate,
+                                     vc_rate=args.vc_rate,
+                                     vc_count=args.vc_count)
         report = run_oracles(scenario)
         executed += 1
         skipped += len(report.skipped)
@@ -171,12 +173,13 @@ def cmd_corpus(args: argparse.Namespace) -> int:
         chaos = f" faults={[lk for _t, lk in sc.fault_schedule]}" if \
             sc.fault_schedule else ""
         churn = f" churn={len(sc.churn_ops)}" if sc.churn_ops else ""
+        vcs = f" vcs={sc.params.vc_count}" if sc.params.vc_count > 1 else ""
         _out(
             f"{path.name}: switches={sc.topo.num_switches} "
             f"nodes={sc.topo.num_nodes} links={len(sc.topo.links)} "
             f"dests={len(sc.dests)} "
             f"schemes=[{', '.join(spec_label(s) for s in sc.schemes)}]"
-            f"{degraded}{chaos}{churn}"
+            f"{degraded}{chaos}{churn}{vcs}"
         )
     _out(f"{len(entries)} corpus entr{'y' if len(entries) == 1 else 'ies'}")
     return 0
@@ -208,6 +211,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--churn-rate", type=float, default=0.25,
                        help="probability a scenario carries a membership "
                             "churn stream (0 disables churn mode)")
+    p_run.add_argument("--vc-rate", type=float, default=0.25,
+                       help="probability a scenario runs with multiple "
+                            "virtual channels (0 keeps every draw "
+                            "single-lane)")
+    p_run.add_argument("--vc-count", type=int, default=None,
+                       help="force this many virtual channels on every "
+                            "scenario (overrides --vc-rate's draw)")
     p_run.add_argument("--no-minimize", action="store_true",
                        help="save raw failures without shrinking")
     p_run.add_argument("--verbose", action="store_true",

@@ -148,15 +148,20 @@ def _draw_churn_ops(
 
 def generate_scenario(
     base_seed: int, index: int, fault_rate: float = 0.3,
-    churn_rate: float = 0.25,
+    churn_rate: float = 0.25, vc_rate: float = 0.25,
+    vc_count: int | None = None,
 ) -> FuzzScenario:
     """Scenario ``index`` of the run seeded by ``base_seed`` (pure function).
 
     ``fault_rate`` is the probability that the scenario carries a runtime
     fault schedule (chaos mode); ``churn_rate`` the probability it carries
-    a membership churn stream (churn mode).  Pass 0.0 to disable either.
-    Each chance draw happens regardless of its rate, so the rest of the
-    scenario is identical across rates for the same ``(seed, index)``.
+    a membership churn stream (churn mode); ``vc_rate`` the probability the
+    fabric runs with multiple virtual channels per physical channel.  Pass
+    0.0 to disable any of them.  Each chance draw happens regardless of its
+    rate, so the rest of the scenario is identical across rates for the
+    same ``(seed, index)``.  ``vc_count`` forces a specific lane count
+    (overriding the draw, e.g. CI's fixed 4-VC stream); the draws still
+    happen, keeping the stream aligned with unforced runs.
     """
     rng = random.Random(derive_seed(base_seed, "fuzz-scenario", index))
     params = _draw_params(rng)
@@ -189,6 +194,15 @@ def generate_scenario(
     churn_ops: tuple[tuple[str, int], ...] = ()
     if rng.random() < churn_rate:
         churn_ops = _draw_churn_ops(rng, n, source, dests)
+    # VC draws come last (appended after the historical draws, so corpora
+    # generated before the VC fabric replay identically) and are always
+    # consumed -- stream stability across vc_rate values.
+    vc_chance = rng.random()
+    vc_lanes = rng.choice([2, 4])
+    if vc_count is not None:
+        params = params.replace(vc_count=vc_count)
+    elif vc_chance < vc_rate:
+        params = params.replace(vc_count=vc_lanes)
     return FuzzScenario(
         topo=topo,
         params=params,

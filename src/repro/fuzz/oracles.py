@@ -29,6 +29,10 @@ every fuzz scenario:
 * **conservation** -- per-channel flit/worm counters equal the sum over
   audited worms that crossed the channel (flits are neither lost nor
   duplicated in flight);
+* **lane-conservation** -- virtual-channel bookkeeping balances on every
+  channel: lane grants equal lane releases after the run, no lane is still
+  owned, and the concurrent-owner high-water mark never exceeded the
+  configured ``vc_count``;
 * **monotone-time** -- trace timestamps never decrease and the engine clock
   ends at/after the last delivery;
 * **scheme-differential** -- every scheme in the roster delivers the same
@@ -98,6 +102,7 @@ ORACLES = (
     "header",
     "reachability",
     "conservation",
+    "lane-conservation",
     "monotone-time",
     "scheme-differential",
     "backend-differential",
@@ -266,6 +271,29 @@ def _check_conservation(
                 f"{flits} flits / {worms} worms"))
 
 
+def _check_lane_conservation(
+    net: SimNetwork, label: str, out: list[Violation]
+) -> None:
+    """Virtual-channel bookkeeping: grants/releases balance, lanes bounded."""
+    vcs = net.params.vc_count
+    for ch in net.fabric.all_channels():
+        if ch.peak_owned > vcs:
+            out.append(Violation(
+                "lane-conservation", label,
+                f"channel {ch.name} had {ch.peak_owned} concurrent lane "
+                f"owners but vc_count is {vcs}"))
+        if ch.grants != ch.releases:
+            out.append(Violation(
+                "lane-conservation", label,
+                f"channel {ch.name} granted {ch.grants} lane(s) but "
+                f"released {ch.releases}"))
+        if ch.owned_lanes:
+            out.append(Violation(
+                "lane-conservation", label,
+                f"channel {ch.name} still owns {ch.owned_lanes} lane(s) "
+                "after the run"))
+
+
 def _execute_scheme(scenario: FuzzScenario, spec: SchemeSpec):
     """One fresh network + one run of the scheme (chaos-wrapped if needed).
 
@@ -357,6 +385,7 @@ def run_scheme(
     # hop-legality + conservation over every worm actually launched.
     expected = _audit_worm_hops(net, label, out)
     _check_conservation(net, expected, label, out)
+    _check_lane_conservation(net, label, out)
 
     # plan-static: re-derive and verify the scheme's static plan (against
     # the network's *final* topology and routing, which under a fault

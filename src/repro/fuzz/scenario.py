@@ -123,12 +123,19 @@ class FuzzScenario:
 
         ``fault_schedule`` and ``churn_ops`` are omitted when empty so
         scenarios without them keep the digests (and corpus file names)
-        they had before chaos/churn mode existed.
+        they had before chaos/churn mode existed; the default VC params
+        (``vc_count=1``, ``vc_routing="updown"``) are stripped for the same
+        reason -- single-lane scenarios keep their pre-VC digests.
         """
+        params = asdict(self.params)
+        if params.get("vc_count") == 1:
+            params.pop("vc_count")
+        if params.get("vc_routing") == "updown":
+            params.pop("vc_routing")
         out = {
             "format": FORMAT_VERSION,
             "topology": topology_to_dict(self.topo),
-            "params": asdict(self.params),
+            "params": params,
             "source": self.source,
             "dests": list(self.dests),
             "schemes": [

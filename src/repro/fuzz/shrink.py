@@ -20,7 +20,10 @@ and keeps any variant on which the predicate still holds:
   reproducer beats two);
 * **churn** -- drop membership churn ops (prefix halves, then singles),
   re-filtered so the surviving stream stays valid against the (possibly
-  shrunken) destination set.
+  shrunken) destination set;
+* **virtual channels** -- reduce ``vc_count`` toward the single-lane
+  fabric (1 first, then 2), resetting escape routing to plain up*/down*
+  when the escape lane requirement (>= 2 VCs) would be violated.
 
 Passes repeat until a full sweep makes no progress, so the result is
 1-minimal with respect to these moves.  Everything is deterministic: moves
@@ -285,6 +288,23 @@ def _shrink_churn(sc: FuzzScenario, failing: Predicate) -> FuzzScenario | None:
     return None
 
 
+def _shrink_vcs(sc: FuzzScenario, failing: Predicate) -> FuzzScenario | None:
+    p = sc.params
+    if p.vc_count <= 1:
+        return None
+    trials = [1]
+    if p.vc_count > 2:
+        trials.append(2)
+    for lanes in trials:
+        params = p.replace(vc_count=lanes)
+        if lanes < 2 and params.vc_routing == "escape":
+            params = params.replace(vc_routing="updown")
+        candidate = sc.with_changes(params=params)
+        if failing(candidate):
+            return candidate
+    return None
+
+
 _PASSES = (
     _shrink_schemes,
     _shrink_faults,
@@ -294,6 +314,7 @@ _PASSES = (
     _shrink_links,
     _shrink_switches,
     _shrink_message,
+    _shrink_vcs,
 )
 
 

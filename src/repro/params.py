@@ -109,6 +109,24 @@ class SimParams:
     route_seed: int = 7
     """Seed for adaptive route selection tie-breaking."""
 
+    # ------------------------------------------------------------------
+    # Virtual channels
+    # ------------------------------------------------------------------
+    vc_count: int = 1
+    """Virtual channels (lanes) per physical channel.  Each lane is an
+    independent full-rate grant slot of the physical channel: a channel with
+    ``vc_count`` lanes admits that many concurrent worms, each of which sees
+    the channel's full per-lane bandwidth (the multi-lane MIN model of
+    arXiv:2007.02550, not a time-multiplexed one).  ``vc_count=1`` is
+    byte-identical to the historical single-lane fabric."""
+
+    vc_routing: str = "updown"
+    """Lane routing discipline: "updown" restricts every lane to the
+    up*/down* order (pure blocking relief), "escape" restricts only lane 0
+    to up*/down* and lets lanes >= 1 take minimal adaptive shortcuts that are
+    free at decision time (Duato-style escape-channel deadlock freedom; see
+    docs/virtual_channels.md)."""
+
     @property
     def o_ni(self) -> int:
         """NI processor overhead per message (or per forwarded replica
@@ -157,6 +175,14 @@ class SimParams:
             raise ValueError('routing_tree must be "bfs" or "dfs"')
         if self.input_buffer_flits < 1:
             raise ValueError("input buffers hold at least one flit")
+        if self.vc_count < 1:
+            raise ValueError("channels need at least one virtual channel")
+        if self.vc_routing not in ("updown", "escape"):
+            raise ValueError('vc_routing must be "updown" or "escape"')
+        if self.vc_routing == "escape" and self.vc_count < 2:
+            raise ValueError(
+                "escape routing needs at least 2 VCs (lane 0 is the escape lane)"
+            )
 
 
 DEFAULT_PARAMS = SimParams()

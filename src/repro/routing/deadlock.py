@@ -192,6 +192,126 @@ def build_multicast_cdg(
     return deps
 
 
+def build_escape_cdg(
+    topo: NetworkTopology, rt: UpDownRouting, vc_count: int = 2
+) -> dict[ChannelKey, set[ChannelKey]]:
+    """Lane-annotated CDG of the escape-VC fabric (``vc_routing="escape"``).
+
+    Forward channels split into ``vc_count`` lane nodes
+    ``('fwd', link_id, from_switch, lane)``; injection and delivery channels
+    stay unannotated (they are pure sources/sinks of the dependency
+    relation, so lanes would only multiply nodes without changing cycles).
+    Three edge families model the escape discipline
+    (see docs/virtual_channels.md):
+
+    1. **Blocking waits.**  A worm holding any lane of a channel may *wait*
+       for a legal up*/down* continuation; the wait is lane-agnostic (the
+       FIFO grants whichever lane frees first, lane 0 included), so each
+       held lane points at every lane of every multicast-CDG successor.
+    2. **Adaptive claims.**  Lanes >= 1 of any minimal-path continuation
+       may be claimed from any held lane.  The claim itself never blocks
+       (shortcuts are taken only when a lane is free at decision time), but
+       the hold-while-requesting edge exists while the worm drains.
+    3. **Post-shortcut continuations.**  A lane >= 1 may carry a worm that
+       crossed the channel *against* its up/down orientation and restarted
+       in the UP phase, so those lanes also point at the full UP-phase
+       legal continuation set of their arrival switch.
+
+    The full graph is generally **cyclic** on cyclic topologies -- families
+    2 and 3 are exactly the unrestricted minimal-path relation the up*/down*
+    rule exists to break -- which is why deadlock freedom rests on the
+    lane-0 restriction instead: see :func:`escape_subgraph`.
+    """
+    if vc_count < 2:
+        raise ValueError("escape routing needs at least 2 VCs")
+    from repro.topology.analysis import switch_distances
+
+    base = build_multicast_cdg(topo, rt)
+    dist = [switch_distances(topo, s) for s in range(topo.num_switches)]
+
+    def lanes_of(chan: ChannelKey, adaptive_only: bool = False) -> list[ChannelKey]:
+        if chan[0] == "fwd":
+            start = 1 if adaptive_only else 0
+            return [(*chan, lane) for lane in range(start, vc_count)]
+        return [] if adaptive_only else [chan]
+
+    deps: dict[ChannelKey, set[ChannelKey]] = {
+        lane: set() for chan in base for lane in lanes_of(chan)
+    }
+    # 1. blocking waits: lifted multicast-CDG edges, lane-agnostic targets.
+    for held, reqs in base.items():
+        targets = {lane for req in reqs for lane in lanes_of(req)}
+        for h in lanes_of(held):
+            deps[h].update(targets)
+    # 2 + 3. adaptive claims from every arrival switch, and UP-phase
+    # continuations for adaptively-crossable lanes (>= 1).
+    dest_switches = sorted({topo.switch_of_node(n) for n in range(topo.num_nodes)})
+    for chan in base:
+        state = _arrival_state(rt, topo, chan)
+        if state is None:
+            continue
+        s = state.switch
+        minimal = {
+            ("fwd", lk.link_id, s)
+            for lk in topo.links_of(s)
+            for d in dest_switches
+            if dist[s][d] > 0
+            and dist[lk.other_end(s).switch][d] == dist[s][d] - 1
+        }
+        claims = {
+            lane for m in minimal for lane in lanes_of(m, adaptive_only=True)
+        }
+        for h in lanes_of(chan):
+            deps[h].update(claims)
+        if chan[0] != "fwd":
+            continue
+        up_state = {lane for lk in rt.up_links_of(s)
+                    for lane in lanes_of(("fwd", lk.link_id, s))}
+        up_state |= {lane for lk in rt.down_links_of(s)
+                     for lane in lanes_of(("fwd", lk.link_id, s))}
+        up_state |= {("del", n) for n in topo.nodes_on_switch(s)}
+        for h in lanes_of(chan, adaptive_only=True):
+            deps[h].update(up_state)
+    return deps
+
+
+def escape_subgraph(
+    deps: dict[ChannelKey, set[ChannelKey]]
+) -> dict[ChannelKey, set[ChannelKey]]:
+    """Restrict an escape CDG to lane 0 plus injection/delivery channels.
+
+    This is the graph Duato's condition cares about: every blocking wait in
+    the fabric admits lane 0 (adaptive-only requests are never queued -- a
+    shortcut is only taken when a free lane is in hand), so any deadlocked
+    configuration would induce a cycle among lane-0 holds.  By construction
+    the restriction equals the plain multicast CDG up to lane annotation;
+    verifying it per epoch proves the lane lifting preserved acyclicity.
+    """
+
+    def keep(chan: ChannelKey) -> bool:
+        return chan[0] != "fwd" or chan[3] == 0
+
+    return {
+        chan: {t for t in targets if keep(t)}
+        for chan, targets in deps.items()
+        if keep(chan)
+    }
+
+
+def verify_escape_deadlock_free(
+    topo: NetworkTopology, rt: UpDownRouting, vc_count: int = 2
+) -> None:
+    """Raise :class:`DeadlockCycleError` if the escape-lane CDG has a cycle.
+
+    The escape subgraph is lane-count invariant (lanes >= 1 are filtered
+    out wholesale), so checking one representative ``vc_count`` certifies
+    every lane count the fabric may run with.
+    """
+    cycle = find_cycle(escape_subgraph(build_escape_cdg(topo, rt, vc_count)))
+    if cycle is not None:
+        raise DeadlockCycleError(cycle)
+
+
 def build_unrestricted_cdg(topo: NetworkTopology) -> dict[ChannelKey, set[ChannelKey]]:
     """Negative control: minimal-path routing with *no* up/down restriction.
 

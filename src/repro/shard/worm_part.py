@@ -177,10 +177,11 @@ class PartWorm(Worm):
             self.abort(f"channel {hop.channel.name} revoked")
             return
 
-        def granted() -> None:
+        def granted(lane: int) -> None:
+            hop.lane = lane
             if self.aborted or hop.released:
                 hop.released = True
-                hop.channel.release()
+                hop.channel.release(lane)
                 return
             hop.h = self.engine.now + hop.channel.delay
             self._trace("grant", hop.channel.name)
@@ -304,7 +305,7 @@ class PartWorm(Worm):
         for rid, hop in enumerate(self._by_route_id):
             if self._local[rid] and hop.h is not None and not hop.released:
                 hop.released = True
-                hop.channel.release()
+                hop.channel.release(hop.lane)
 
     def touches_local(self, channel_uids: set[int]) -> bool:
         """Serial ``touches`` restricted to locally-owned hops.

@@ -19,19 +19,31 @@ Channel kinds and their crossing delays:
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 
 from repro.params import SimParams
 from repro.sim.engine import Engine
-from repro.sim.resources import FifoResource
+from repro.sim.resources import MultiLaneResource
 from repro.topology.graph import NetworkTopology, SwitchLink
 
 UNBOUNDED_BUFFER = 1 << 30
 """Sentinel buffer size for sinks that always accept flits (the NI)."""
 
 
-class Channel(FifoResource):
-    """One directional channel of the fabric."""
+def _lane_seed(route_seed: int, uid: int) -> int:
+    """Deterministic per-channel lane-pointer seed (sha256, never hash())."""
+    payload = f"lane:{route_seed}:{uid}".encode("utf-8")
+    return int.from_bytes(hashlib.sha256(payload).digest()[:8], "big")
+
+
+class Channel(MultiLaneResource):
+    """One directional channel of the fabric.
+
+    A channel is a :class:`MultiLaneResource` with ``params.vc_count`` lanes:
+    each lane is an independent virtual channel of the physical link.  The
+    lane-allocation pointer is seeded per channel from ``(route_seed, uid)``
+    so allocation is deterministic yet decorrelated across channels."""
 
     __slots__ = (
         "uid",
@@ -60,8 +72,10 @@ class Channel(FifoResource):
         to_node: int | None = None,
         link: SwitchLink | None = None,
         name: str = "",
+        lanes: int = 1,
+        lane_seed: int = 0,
     ) -> None:
-        super().__init__(engine, name=name)
+        super().__init__(engine, lanes=lanes, name=name, lane_seed=lane_seed)
         self.uid = uid
         self.kind = kind
         self.delay = delay
@@ -139,7 +153,16 @@ class Fabric:
                 )
 
     def _make(self, kind: str, delay: int, downstream_buffer: int, **kw) -> Channel:
-        ch = Channel(self.engine, self._uid, kind, delay, downstream_buffer, **kw)
+        ch = Channel(
+            self.engine,
+            self._uid,
+            kind,
+            delay,
+            downstream_buffer,
+            lanes=self.params.vc_count,
+            lane_seed=_lane_seed(self.params.route_seed, self._uid),
+            **kw,
+        )
         self._uid += 1
         return ch
 

@@ -117,10 +117,17 @@ class FlitLevelFabric:
         self.params = params
         self.L = params.packet_flits
         self.B = params.input_buffer_flits
+        self.vcs = params.vc_count
         self.now = 0
         self._worms: list[dict] = []
         self._queues: dict[ChannelKey, deque[_Branch]] = {}
-        self._owner: dict[ChannelKey, _Branch] = {}
+        self._owners: dict[ChannelKey, list[_Branch]] = {}
+        """Per channel: branches holding a lane, in grant order.  Each of
+        the ``vcs`` lanes is an independent full-rate virtual channel, so a
+        channel admits up to ``vcs`` concurrent owners; with ``vcs=1`` this
+        degenerates to the historical single-owner dict (the key is deleted
+        the moment its owner list empties, so dict insertion order -- the
+        transmission-order tie-break -- is preserved exactly)."""
         self._owned_order: list[_Branch] | None = None
         """Cached depth-sorted owners; invalidated on every grant/free."""
         self._owned_count = 0
@@ -132,7 +139,7 @@ class FlitLevelFabric:
         """rank -> branch with in-flight flits (``crossed < sent``)."""
         self._grant_candidates: dict[ChannelKey, None] = {}
         """Ordered set of channels whose grantability may have changed."""
-        self._to_free: list[ChannelKey] = []
+        self._to_free: list[tuple[ChannelKey, _Branch]] = []
         self.deliveries: dict[tuple[int, int], int] = {}
         """(worm_id, node) -> cycle the tail arrived at the NI."""
 
@@ -254,25 +261,29 @@ class FlitLevelFabric:
         for br in self._pending_decodes.pop(t, ()):
             for child in br.children:
                 self._request(child)
-        # 3. free channels whose owner's tail has fully crossed (marked by
+        # 3. free lanes whose owner's tail has fully crossed (marked by
         # the settle pass of the previous tick)
         if self._to_free:
-            for key in self._to_free:
-                del self._owner[key]
+            for key, branch in self._to_free:
+                owners = self._owners[key]
+                owners.remove(branch)
+                if not owners:
+                    del self._owners[key]
                 self._owned_count -= 1
                 if self._queues.get(key):
                     self._grant_candidates[key] = None
             self._to_free.clear()
             self._owned_order = None
         # 4. grants (FIFO): only channels with a new request or a fresh
-        # release can change state; everything else is skipped.
+        # release can change state; everything else is skipped.  A channel
+        # grants as long as it has a free lane (at most ``vcs`` owners).
         if self._grant_candidates:
             for key in self._grant_candidates:
                 queue = self._queues.get(key)
-                if queue and key not in self._owner:
+                while queue and len(self._owners.get(key, ())) < self.vcs:
                     branch = queue.popleft()
                     self._queued_count -= 1
-                    self._owner[key] = branch
+                    self._owners.setdefault(key, []).append(branch)
                     self._owned_count += 1
                     branch.granted = True
                     self._owned_order = None
@@ -285,7 +296,8 @@ class FlitLevelFabric:
         order = self._owned_order
         if order is None:
             order = self._owned_order = sorted(
-                self._owner.values(), key=lambda b: -b.depth
+                (b for lst in self._owners.values() for b in lst),
+                key=lambda b: -b.depth,
             )
         L = self.L
         for branch in order:
@@ -342,7 +354,7 @@ class FlitLevelFabric:
                     if not br.children:
                         node = br.route.channel[1]
                         self.deliveries[(br.worm_id, node)] = ft[m]
-                    # tail fully crossed: the owned channel frees next tick
-                    self._to_free.append(br.key)
+                    # tail fully crossed: the owned lane frees next tick
+                    self._to_free.append((br.key, br))
             if br.crossed == br.sent:
                 del self._active[rank]

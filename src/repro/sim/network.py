@@ -11,6 +11,7 @@ from dataclasses import dataclass
 from typing import Callable
 
 from repro.params import SimParams
+from repro.routing.escape import EscapeRouting
 from repro.routing.reachability import ReachabilityTable
 from repro.routing.updown import Phase, UpDownRouting
 from repro.sim.engine import Engine
@@ -61,6 +62,10 @@ class SimNetwork:
         self.engine = engine if engine is not None else Engine()
         self.routing = UpDownRouting.build(topo, orientation=params.routing_tree)
         self.reach = ReachabilityTable.build(self.routing)
+        self.escape: EscapeRouting | None = (
+            EscapeRouting(topo) if params.vc_routing == "escape" else None
+        )
+        """Minimal-path shortcut tables for lanes >= 1 (escape mode only)."""
         self.fabric = Fabric(self.engine, topo, params)
         self.rng = random.Random(params.route_seed)
         self.hosts = [Host(self, n) for n in range(topo.num_nodes)]
@@ -100,6 +105,7 @@ class SimNetwork:
         dest_switch = self.topo.switch_of_node(dest_node)
         deliver_ch = self.fabric.deliver[dest_node]
         routing = self.routing
+        escape = self.escape
         fabric = self.fabric
         adaptive = self.params.adaptive_routing
 
@@ -119,7 +125,19 @@ class SimNetwork:
                         key=lambda o: (o[0].to_switch, o[0].link.link_id),
                     )
                 ]
-            return [Forward(options)]
+            if escape is None:
+                return [Forward(options)]
+            # Escape mode: minimal-path shortcuts for lanes >= 1.  The phase
+            # state resets to UP after a shortcut (up-phase routes reach
+            # every destination from every switch), and channels already in
+            # the legal option set carry their legal next-phase instead.
+            legal_uids = {o[0].uid for o in options}
+            shortcuts = [
+                (fabric.forward_channel(lk, switch), Phase.UP)
+                for lk in escape.minimal_hops(switch, dest_switch)
+                if fabric.forward_channel(lk, switch).uid not in legal_uids
+            ]
+            return [Forward(options, adaptive_options=shortcuts)]
 
         return steer
 
@@ -158,6 +176,8 @@ class SimNetwork:
             topo, orientation=self.params.routing_tree
         )
         self.reach = ReachabilityTable.build(self.routing)
+        if self.escape is not None:
+            self.escape = EscapeRouting(topo)
         self.routing_epoch += 1
         self.routing_history.append(self.routing)
         self.chaos.reconfigurations += 1

@@ -17,6 +17,142 @@ from typing import Callable
 from repro.sim.engine import Engine
 
 GrantFn = Callable[[], None]
+LaneGrantFn = Callable[[int], None]
+
+
+class MultiLaneResource:
+    """A ``lanes``-capacity resource with deterministic lane allocation.
+
+    Models a physical channel carved into virtual channels: each of the
+    ``lanes`` grant slots is an independent full-rate lane of the channel
+    (the multi-lane MIN interpretation -- lanes do not time-share bandwidth,
+    so worm timing is unchanged by which lane carries it).
+
+    Allocation is deterministic: a request scans for a free lane starting at
+    a rotating pointer seeded by ``lane_seed`` (creation-order, i.e.
+    lane-index, tie-break within the scan) and the pointer advances past each
+    granted lane -- round-robin arbitration across lanes.  ``request(fn)``
+    invokes ``fn(lane)`` synchronously when a lane is free, else queues FIFO;
+    a release grants the first admissible waiter on the freed lane via a
+    fresh zero-delay engine event.  With ``lanes=1`` the event sequence is
+    byte-identical to the historical single-lane :class:`FifoResource`
+    protocol (synchronous grant when idle, ``engine.after(0, ...)`` grant on
+    release-with-queue).
+
+    ``adaptive_only=True`` requests refuse lane 0 (the escape lane); they are
+    issued by escape-mode routing only when a higher lane is known free, so
+    in practice they always grant synchronously and never block on lane 0.
+    """
+
+    __slots__ = (
+        "engine",
+        "name",
+        "lanes",
+        "_owned",
+        "_queue",
+        "_next_lane",
+        "grants",
+        "releases",
+        "peak_owned",
+        "release_hook",
+        "busy_time",
+        "_granted_at",
+    )
+
+    def __init__(
+        self,
+        engine: Engine,
+        lanes: int = 1,
+        name: str = "",
+        lane_seed: int = 0,
+    ) -> None:
+        if lanes < 1:
+            raise ValueError("a channel needs at least one lane")
+        self.engine = engine
+        self.name = name
+        self.lanes = lanes
+        self._owned = [False] * lanes
+        self._queue: deque[tuple[LaneGrantFn, bool]] = deque()
+        self._next_lane = lane_seed % lanes
+        self.grants = 0
+        self.releases = 0
+        self.peak_owned = 0
+        """High-water mark of concurrently owned lanes (oracle food)."""
+        self.release_hook: Callable[[float], None] | None = None
+        """Observability: called with the release time on every release."""
+        self.busy_time = 0.0
+        """Accumulated lane-owned time (grant to release), summed over lanes."""
+        self._granted_at = [0.0] * lanes
+
+    def _find_free_lane(self, adaptive_only: bool) -> int | None:
+        """First free admissible lane scanning from the rotating pointer."""
+        for off in range(self.lanes):
+            lane = (self._next_lane + off) % self.lanes
+            if not self._owned[lane] and not (adaptive_only and lane == 0):
+                return lane
+        return None
+
+    def _grant(self, lane: int) -> None:
+        self._owned[lane] = True
+        self.grants += 1
+        self._granted_at[lane] = self.engine.now
+        self._next_lane = (lane + 1) % self.lanes
+        owned = sum(self._owned)
+        if owned > self.peak_owned:
+            self.peak_owned = owned
+
+    def request(self, fn: LaneGrantFn, adaptive_only: bool = False) -> None:
+        """Queue for a lane; ``fn(lane)`` fires on grant."""
+        lane = self._find_free_lane(adaptive_only)
+        if lane is not None:
+            self._grant(lane)
+            fn(lane)
+        else:
+            self._queue.append((fn, adaptive_only))
+
+    def release(self, lane: int = 0) -> None:
+        """Give ``lane`` up; the first admissible waiter is granted now."""
+        if not self._owned[lane]:
+            raise RuntimeError(f"release of idle lane {lane} of {self.name!r}")
+        self.busy_time += self.engine.now - self._granted_at[lane]
+        self.releases += 1
+        if self.release_hook is not None:
+            self.release_hook(self.engine.now)
+        for i, (fn, adaptive_only) in enumerate(self._queue):
+            if adaptive_only and lane == 0:
+                continue
+            del self._queue[i]
+            self._grant(lane)
+            # Fire through the engine so a grant is always a fresh event at
+            # the current time (keeps callback stacks shallow/deterministic).
+            self.engine.after(0, lambda fn=fn, lane=lane: fn(lane))
+            return
+        self._owned[lane] = False
+
+    @property
+    def busy(self) -> bool:
+        """Whether any lane is currently owned."""
+        return any(self._owned)
+
+    @property
+    def owned_lanes(self) -> int:
+        """Number of lanes currently owned."""
+        return sum(self._owned)
+
+    @property
+    def has_free_lane(self) -> bool:
+        """Whether a request right now would be granted synchronously."""
+        return not all(self._owned)
+
+    @property
+    def has_free_adaptive_lane(self) -> bool:
+        """Whether an ``adaptive_only`` request would grant synchronously."""
+        return any(not o for o in self._owned[1:])
+
+    @property
+    def queue_length(self) -> int:
+        """Requesters waiting (excludes current lane owners)."""
+        return len(self._queue)
 
 
 class FifoResource:

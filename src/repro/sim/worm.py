@@ -56,9 +56,16 @@ class Forward:
     continuations), each paired with the scheme-private routing state the
     steer function will receive at the next switch if that channel is the
     one chosen (e.g. the up*/down* phase depends on which link is taken).
+
+    ``adaptive_options`` (escape-VC mode only) are minimal-path shortcuts
+    *outside* the up*/down* order.  They may only be taken on lanes >= 1 of
+    a channel with a free adaptive lane at decision time -- a worm never
+    waits on one -- so lane 0 remains a deadlock-free escape path
+    (see docs/virtual_channels.md).
     """
 
     options: list[tuple[Channel, object]]
+    adaptive_options: list[tuple[Channel, object]] = field(default_factory=list)
 
 
 SteerFn = Callable[[int, object], list["Deliver | Forward"]]
@@ -85,6 +92,8 @@ class _Hop:
     channel: Channel
     parent: "_Hop | None"
     idx: int = 0            # creation order (finalization tie-break)
+    lane: int = 0           # virtual channel granted (set with h)
+    adaptive: bool = False  # escape-mode shortcut: must avoid lane 0
     h: float | None = None  # header finished crossing; None until granted
     terminal: bool = False  # delivery hop: chain ends here
     expanded: bool = False  # children hops all created (requests issued)
@@ -200,13 +209,14 @@ class Worm:
             self.abort(f"channel {hop.channel.name} revoked")
             return
 
-        def granted() -> None:
+        def granted(lane: int) -> None:
+            hop.lane = lane
             if self.aborted or hop.released:
                 # The worm died while this request sat in the FIFO; the
-                # grant just made the channel ours, so hand it straight
+                # grant just made the lane ours, so hand it straight
                 # back (no traffic is counted for a cancelled hop).
                 hop.released = True
-                hop.channel.release()
+                hop.channel.release(lane)
                 return
             hop.h = self.engine.now + hop.channel.delay
             self._trace("grant", hop.channel.name)
@@ -219,7 +229,17 @@ class Worm:
                 )
             self._refinalize(hop)
 
-        hop.channel.request(granted)
+        hop.channel.request(granted, adaptive_only=hop.adaptive)
+
+    @staticmethod
+    def _load(opt: tuple[Channel, object]) -> tuple[int, int]:
+        """Channel preference key: channels with a free lane (immediate
+        grant) first, then shortest queue.  At ``vc_count=1`` a free lane
+        is exactly the not-busy condition of the single-lane fabric."""
+        ch = opt[0]
+        if ch.has_free_lane:
+            return (0, ch.queue_length)
+        return (1, ch.queue_length + 1)
 
     def _choose(self, options: list[tuple[Channel, object]]) -> tuple[Channel, object]:
         """Adaptive output selection: idle channels first, then shortest
@@ -228,14 +248,34 @@ class Worm:
             raise ValueError("Forward with no candidate channels")
         if len(options) == 1:
             return options[0]
-
-        def load(opt: tuple[Channel, object]) -> tuple[int, int]:
-            ch = opt[0]
-            return (0, ch.queue_length) if not ch.busy else (1, ch.queue_length + 1)
-
-        best = min(load(o) for o in options)
-        pool = [o for o in options if load(o) == best]
+        best = min(self._load(o) for o in options)
+        pool = [o for o in options if self._load(o) == best]
         return pool[0] if len(pool) == 1 else self.rng.choice(pool)
+
+    def _choose_vc(
+        self,
+        options: list[tuple[Channel, object]],
+        adaptive: list[tuple[Channel, object]],
+    ) -> tuple[tuple[Channel, object], bool]:
+        """Escape-mode selection among up*/down* options and adaptive
+        shortcuts.  Returns ``(choice, is_adaptive)``.
+
+        The up*/down* set wins whenever one of its channels grants
+        immediately; an adaptive shortcut is taken only when every legal
+        option would block *and* the shortcut has a free lane >= 1 right
+        now.  Adaptive requests are issued in the same engine event as this
+        check, so they always grant synchronously -- a worm never waits on
+        an adaptive lane, which is what keeps escape routing deadlock-free.
+        """
+        candidates = [
+            o for o in adaptive
+            if not o[0].revoked and o[0].has_free_adaptive_lane
+        ]
+        if not candidates:
+            return self._choose(options), False
+        if min(self._load(o) for o in options)[0] == 0:
+            return self._choose(options), False
+        return self._choose(candidates), True
 
     def _expand(self, hop: _Hop, state: object) -> None:
         """Header decoded at the switch after crossing ``hop``: replicate."""
@@ -265,8 +305,26 @@ class Worm:
                 if not options:
                     self.abort(f"no surviving route at switch {switch}")
                     return
-                chosen, next_state = self._choose(options)
+                if ins.adaptive_options:
+                    # Escape mode resets the up*/down* phase after a
+                    # shortcut, so a later legal segment could retrace a
+                    # channel this worm already crossed -- filter used
+                    # channels out (a worm's tree never crosses a channel
+                    # twice).  Pure up*/down* routes are simple by
+                    # construction, so this filter is escape-mode only.
+                    used = self._channels_used
+                    base = [o for o in options if o[0].uid not in used]
+                    shortcuts = [
+                        o for o in ins.adaptive_options if o[0].uid not in used
+                    ]
+                    (chosen, next_state), adaptive = self._choose_vc(
+                        base or options, shortcuts
+                    )
+                else:
+                    chosen, next_state = self._choose(options)
+                    adaptive = False
                 child = self._new_hop(chosen, parent=hop)
+                child.adaptive = adaptive
                 self._request(child, next_state=next_state)
             else:  # pragma: no cover - type guard
                 raise TypeError(f"unknown steer instruction {ins!r}")
@@ -419,7 +477,7 @@ class Worm:
         self._trace("release", hop.channel.name)
         hop.channel.flits_carried += self.length
         hop.channel.worms_carried += 1
-        hop.channel.release()
+        hop.channel.release(hop.lane)
         self._unreleased -= 1
         self._check_done()
 
@@ -457,7 +515,7 @@ class Worm:
         for hop in self._hops:
             if hop.h is not None and not hop.released:
                 hop.released = True
-                hop.channel.release()
+                hop.channel.release(hop.lane)
         if self.on_abort is not None:
             self.on_abort(reason)
         if self.on_retire is not None:

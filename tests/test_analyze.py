@@ -395,3 +395,51 @@ class TestEpochVerifier:
             fault_schedule=((50.0, 1), (10.0, 4)),
         )
         assert verify_scenario_epochs(scenario) == []
+
+    def dfs_fixture_topology(self) -> NetworkTopology:
+        """A topology whose BFS tree has an edge pointing *up* under DFS
+        preorder labels -- legitimate for the dfs orientation, but the
+        BFS-subtree witness used to misreport it as a reachability
+        violation."""
+        from repro.params import SimParams
+        from repro.topology.irregular import generate_irregular_topology
+
+        params = SimParams(num_switches=10, num_nodes=8, topology_seed=0)
+        return generate_irregular_topology(params, seed=0)
+
+    def test_dfs_orientation_is_verified_with_dfs_witness(self):
+        topo = self.dfs_fixture_topology()
+        routing = UpDownRouting.build(topo, orientation="dfs")
+        tree = routing.tree
+        links = {lk.link_id: lk for lk in topo.links}
+        assert any(
+            routing.is_up_traversal(
+                links[tree.parent_link[s]], tree.parent[s])
+            for s in range(topo.num_switches) if tree.parent[s] >= 0
+        ), "fixture must exercise an up-oriented BFS-tree edge"
+        for lk in topo.links:
+            assert verify_epoch_sequence(
+                topo, [lk.link_id], orientation="dfs") == []
+
+    def test_dfs_witness_detects_corrupt_orientation(self):
+        topo = self.dfs_fixture_topology()
+
+        def builder(current, epoch):
+            rt = UpDownRouting.build(current, orientation="dfs")
+            if epoch == 1:
+                lk = current.links[0]
+                rt._up_end[lk.link_id] = (
+                    lk.b.switch if rt._up_end[lk.link_id] == lk.a.switch
+                    else lk.a.switch)
+                rt._compute_tables()
+            return rt
+
+        problems = verify_epoch_sequence(
+            topo, [topo.links[-1].link_id], orientation="dfs",
+            routing_builder=builder)
+        assert any(
+            p.kind == "reachability" and p.epoch == 1
+            and "DFS" in p.detail for p in problems
+        ), "the flipped up end must contradict the DFS label witness"
+        assert not any(p.epoch == 0 for p in problems), \
+            "epoch 0 used the honest builder and must stay clean"

@@ -12,8 +12,11 @@ import pathlib
 
 import pytest
 
+from repro.analyze.epochs import verify_scenario_epochs
 from repro.fuzz import load_corpus, load_entry, run_oracles
 from repro.fuzz.scenario import FuzzScenario
+from repro.routing.deadlock import verify_escape_deadlock_free
+from repro.routing.updown import UpDownRouting
 
 CORPUS_DIR = pathlib.Path(__file__).parent / "fuzz_corpus"
 ENTRIES = load_corpus(CORPUS_DIR)
@@ -52,6 +55,37 @@ def test_corpus_entries_are_minimized_small():
 def test_corpus_entry_passes_every_oracle(path):
     report = run_oracles(load_entry(path))
     assert report.ok, report.render()
+
+
+def test_corpus_includes_multilane_scenarios():
+    lane_counts = {sc.params.vc_count for _, sc in ENTRIES}
+    assert {2, 4} <= lane_counts, (
+        "corpus must hold minimized virtual-channel scenarios at 2 and 4 "
+        f"lanes; found lane counts {sorted(lane_counts)}"
+    )
+
+
+@pytest.mark.parametrize(
+    "path", [p for p, _ in ENTRIES], ids=[p.stem for p, _ in ENTRIES]
+)
+def test_corpus_topology_escape_lane_cdg_is_acyclic(path):
+    # Every corpus topology must admit escape-VC routing: lane 0's
+    # restricted channel dependency graph is acyclic (the Duato escape
+    # argument's structural premise).
+    sc = load_entry(path)
+    rt = UpDownRouting.build(sc.topo, orientation=sc.params.routing_tree)
+    verify_escape_deadlock_free(sc.topo, rt, vc_count=2)
+
+
+@pytest.mark.parametrize(
+    "path", [p for p, _ in ENTRIES], ids=[p.stem for p, _ in ENTRIES]
+)
+def test_corpus_chaos_epochs_have_no_escape_cycles(path):
+    # ... and the premise must survive every reconfiguration epoch of the
+    # entry's fault schedule, not just the intact topology.
+    problems = verify_scenario_epochs(load_entry(path))
+    cycles = [p for p in problems if p.kind == "escape-cdg-cycle"]
+    assert not cycles, cycles
 
 
 @pytest.mark.parametrize(

@@ -12,6 +12,7 @@ from repro.multicast.kbinomial import build_k_binomial_tree
 from repro.multicast.pathworm import plan_path_worms
 from repro.multicast.treeworm import plan_tree_worm
 from repro.params import SimParams
+from repro.routing.deadlock import verify_escape_deadlock_free
 from repro.routing.paths import is_legal_path, shortest_path_links
 from repro.routing.reachability import decode_mask, header_mask
 from repro.routing.updown import Phase, UpDownRouting
@@ -238,6 +239,48 @@ def test_schemes_deliver_exactly_once_on_random_systems(dd, scheme_name, data):
     assert res.complete
     assert set(res.delivery_times) == set(dests)
     net.assert_quiescent()
+
+
+# ----------------------------------------------------------------------
+# Virtual-channel invariants: the escape lane's CDG is acyclic on every
+# topology we can generate (degraded or not), and adaptive-lane routing
+# never breaks exactly-once delivery
+# ----------------------------------------------------------------------
+@settings(max_examples=20, deadline=None)
+@given(degraded_dims)
+def test_escape_lane_cdg_acyclic_on_random_degraded_topologies(dd):
+    d, n_failures = dd
+    topo, _params, _failed = build_degraded_topo(d, n_failures)
+    verify_escape_deadlock_free(topo, UpDownRouting.build(topo), vc_count=2)
+
+
+@settings(max_examples=10, deadline=None)
+@given(degraded_dims, st.sampled_from(["binomial", "ni", "tree", "path"]),
+       st.data())
+def test_schemes_deliver_exactly_once_under_adaptive_lanes(dd, scheme_name,
+                                                           data):
+    # The adaptive-lane twin of the exactly-once property above: escape
+    # routing may shortcut off the deterministic up*/down* path whenever a
+    # non-escape lane is free, and must still cover every destination
+    # exactly once and release every lane it touched.
+    d, n_failures = dd
+    topo, params, _failed = build_degraded_topo(d, n_failures)
+    params = params.replace(vc_count=2, vc_routing="escape")
+    net = SimNetwork(topo, params)
+    n = topo.num_nodes
+    source = data.draw(st.integers(min_value=0, max_value=n - 1))
+    pool = [x for x in range(n) if x != source]
+    size = data.draw(st.integers(min_value=1, max_value=len(pool)))
+    rng = random.Random(data.draw(st.integers(0, 10_000)))
+    dests = rng.sample(pool, size)
+    res = make_scheme(scheme_name).execute(net, source, dests)
+    net.run()
+    assert res.complete
+    assert set(res.delivery_times) == set(dests)
+    net.assert_quiescent()
+    for ch in net.fabric.all_channels():
+        assert ch.owned_lanes == 0, ch.name
+        assert ch.grants == ch.releases, ch.name
 
 
 # ----------------------------------------------------------------------
