@@ -1,0 +1,157 @@
+"""Collective workload engine: raw-speed trajectory + CI smoke baseline.
+
+Sweeps the open-loop workload engine (:mod:`repro.workloads`) over
+(scheme x collective x offered rate) and writes the pinned artifact::
+
+    PYTHONPATH=src python benchmarks/bench_workloads.py [-o BENCH_workloads.json]
+
+The committed ``BENCH_workloads.json`` is **fully deterministic** -- engine
+event counts, admission/completion accounting, tail quantiles, and replay
+digests, never wall-clock times -- so CI regenerates it and diffs byte for
+byte.  Event counts are the raw-speed trajectory: an optimisation that
+makes the engine do less work shows up as a falling ``events`` column (and
+an intended model change shows up loudly, as a diff).  Wall-clock numbers
+go to the console and to the pytest-benchmark ``smoke`` artifacts only.
+
+The ``smoke`` tests at the bottom are the CI baseline
+(``pytest benchmarks/bench_workloads.py -k smoke``): fixed-seed workload
+runs that must replay to identical digests, plus timed runs for the
+benchmark history.
+"""
+
+import argparse
+import json
+import time
+
+from repro.params import SimParams
+from repro.topology.irregular import generate_topology_family
+from repro.workloads import run_workload
+
+SWEEP_SCHEMES = ("ni", "path", "tree")
+SWEEP_COLLECTIVES = ("broadcast", "allreduce", "barrier")
+SWEEP_RATES = (0.0002, 0.0008)
+SWEEP_DURATION = 40_000
+SWEEP_WARMUP = 4_000
+SWEEP_SEED = 11
+
+
+def _run_point(scheme: str, collective: str, rate: float, seed: int = SWEEP_SEED):
+    params = SimParams()
+    topo = generate_topology_family(params, 1)[0]
+    return run_workload(
+        topo,
+        params,
+        scheme,
+        seed=seed,
+        rate=rate,
+        duration=SWEEP_DURATION,
+        warmup=SWEEP_WARMUP,
+        kinds=(collective,),
+    )
+
+
+def run_sweep(seed: int = SWEEP_SEED) -> tuple[dict, list[float]]:
+    """The deterministic payload plus per-point wall times (console only)."""
+    results = []
+    walls: list[float] = []
+    for scheme in SWEEP_SCHEMES:
+        for collective in SWEEP_COLLECTIVES:
+            for rate in SWEEP_RATES:
+                t0 = time.perf_counter()
+                report = _run_point(scheme, collective, rate, seed)
+                walls.append(time.perf_counter() - t0)
+                v = report.to_value()
+                results.append({
+                    "scheme": scheme,
+                    "collective": collective,
+                    "rate": rate,
+                    "admitted": v["admitted"],
+                    "measured": v["measured"],
+                    "completed": v["completed"],
+                    "miss_fraction": v["miss_fraction"],
+                    "throughput": v["throughput"],
+                    "saturated": v["saturated"],
+                    "latency": v["latency"],
+                    "events": v["events"],
+                    "digest": report.digest(),
+                })
+    payload = {
+        "bench": "collective-workloads",
+        "seed": seed,
+        "duration": SWEEP_DURATION,
+        "warmup": SWEEP_WARMUP,
+        "note": (
+            "deterministic raw-speed trajectory: every field is a pure "
+            "function of the seed (event counts stand in for wall time, "
+            "which lives in the pytest-benchmark artifacts); CI "
+            "regenerates this file and requires a byte-identical diff"
+        ),
+        "results": results,
+    }
+    return payload, walls
+
+
+# ----------------------------------------------------------------------
+# CI smoke baseline
+# ----------------------------------------------------------------------
+def test_smoke_workload_replays_identically():
+    a = _run_point("tree", "broadcast", 0.0002)
+    b = _run_point("tree", "broadcast", 0.0002)
+    assert a.digest() == b.digest()
+    assert a.completed == a.measured > 0
+    assert a.miss_fraction == 0.0
+
+
+def test_smoke_open_loop_admissions_scheme_independent():
+    # The open-loop contract at bench scale: every scheme is offered the
+    # identical schedule, however differently it copes.
+    reports = [
+        _run_point(s, "allreduce", 0.0008) for s in SWEEP_SCHEMES
+    ]
+    assert len({r.admitted for r in reports}) == 1
+    assert len({r.schedule_sha for r in reports}) == 1
+
+
+def test_smoke_broadcast_workload_speed(benchmark):
+    report = benchmark.pedantic(
+        lambda: _run_point("tree", "broadcast", 0.0008),
+        rounds=3, iterations=1,
+    )
+    assert report.completed > 0
+
+
+def test_smoke_allreduce_workload_speed(benchmark):
+    report = benchmark.pedantic(
+        lambda: _run_point("ni", "allreduce", 0.0002),
+        rounds=3, iterations=1,
+    )
+    assert report.completed > 0
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "-o", "--output", default="BENCH_workloads.json",
+        help="where to write the sweep JSON (default: %(default)s)",
+    )
+    parser.add_argument("--seed", type=int, default=SWEEP_SEED)
+    args = parser.parse_args()
+    payload, walls = run_sweep(seed=args.seed)
+    with open(args.output, "w") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+    for entry, wall in zip(payload["results"], walls):
+        p99 = entry["latency"]["p99"]
+        print(
+            f"{entry['scheme']:>5} {entry['collective']:>9} "
+            f"rate={entry['rate']:.4f}: "
+            f"{entry['completed']}/{entry['measured']} completed, "
+            f"miss={entry['miss_fraction']:.3f}, "
+            f"p99={'sat' if p99 is None else round(p99)}, "
+            f"events={entry['events']}, wall={wall:.2f}s"
+        )
+    print(f"wrote {args.output}")
+
+
+if __name__ == "__main__":
+    main()

@@ -23,6 +23,51 @@ ACK_FLITS = 8
 """Length of control packets (acks, barrier tokens): header + a few flits."""
 
 
+def _resolve_participants(
+    net: SimNetwork, root: int, participants: "list[int] | None"
+) -> tuple[int, ...]:
+    """Validate and normalise a collective's participant set.
+
+    ``None`` means all nodes (the paper's whole-machine collectives); an
+    explicit list models a job gang (e.g. one ML training job's workers)
+    and must contain the root, hold no duplicates, and stay inside the
+    topology.  Returned sorted for deterministic iteration order.
+    """
+    if participants is None:
+        return tuple(range(net.topo.num_nodes))
+    members = sorted(participants)
+    if len(set(members)) != len(members):
+        raise ValueError("duplicate collective participants")
+    if root not in members:
+        raise ValueError("the root must participate in its own collective")
+    for n in members:
+        if not 0 <= n < net.topo.num_nodes:
+            raise ValueError(f"participant {n} outside the topology")
+    return tuple(members)
+
+
+def _complete_degenerate(
+    net: SimNetwork,
+    result: CollectiveResult,
+    on_complete: "Callable[[CollectiveResult], None] | None",
+) -> None:
+    """Finish a single-participant collective.
+
+    A collective over one node moves no data, but its host still runs the
+    collective call's software path once, so completion is at launch plus
+    one host overhead block (queued FIFO behind the host's other work) --
+    never instantaneous and, crucially, never a hang.
+    """
+
+    def finish() -> None:
+        result.node_times[result.root] = net.engine.now
+        result.complete_time = net.engine.now
+        if on_complete is not None:
+            on_complete(result)
+
+    net.hosts[result.root].cpu_task(finish)
+
+
 @dataclass
 class CollectiveResult:
     """Outcome of one collective operation."""
@@ -70,13 +115,16 @@ def broadcast(
     root: int,
     scheme_name: str = "tree",
     on_complete: Callable[[CollectiveResult], None] | None = None,
+    participants: list[int] | None = None,
     **scheme_kw,
 ) -> CollectiveResult:
-    """One-to-all broadcast: a multicast to every other node."""
-    dests = [n for n in range(net.topo.num_nodes) if n != root]
-    result = CollectiveResult(
-        "broadcast", root, tuple(range(net.topo.num_nodes)), net.engine.now
-    )
+    """Broadcast from the root to every other participant (default: all)."""
+    members = _resolve_participants(net, root, participants)
+    dests = [n for n in members if n != root]
+    result = CollectiveResult("broadcast", root, members, net.engine.now)
+    if not dests:
+        _complete_degenerate(net, result, on_complete)
+        return result
 
     def done(mres: MulticastResult) -> None:
         result.node_times.update(mres.delivery_times)
@@ -129,17 +177,29 @@ def barrier(
     root: int = 0,
     scheme_name: str = "tree",
     on_complete: Callable[[CollectiveResult], None] | None = None,
+    participants: list[int] | None = None,
+    arrivals: dict[int, float] | None = None,
     **scheme_kw,
 ) -> CollectiveResult:
-    """All-node barrier: gather tokens at the root, multicast the release.
+    """Participant barrier: gather tokens at the root, multicast the release.
 
-    Every node sends an arrival token to the root (control message); when
-    the root has all of them it multicasts the release; each node's barrier
-    exit time is its release delivery.
+    Every participant sends an arrival token to the root (control message);
+    when the root has all of them it multicasts the release; each node's
+    barrier exit time is its release delivery.  ``arrivals`` optionally maps
+    a node to the absolute time it reaches the barrier (its token launches
+    then rather than immediately) -- the barrier cannot complete before the
+    last participant has launched.
+
+    A single-participant barrier is degenerate: nobody to wait for, so it
+    completes after one host overhead block (it must never hang waiting for
+    tokens that will never arrive).
     """
-    nodes = list(range(net.topo.num_nodes))
-    others = [n for n in nodes if n != root]
-    result = CollectiveResult("barrier", root, tuple(nodes), net.engine.now)
+    members = _resolve_participants(net, root, participants)
+    others = [n for n in members if n != root]
+    result = CollectiveResult("barrier", root, members, net.engine.now)
+    if not others:
+        _complete_degenerate(net, result, on_complete)
+        return result
     pending = {"tokens": len(others)}
 
     def release_done(mres: MulticastResult) -> None:
@@ -157,7 +217,13 @@ def barrier(
             )
 
     for n in others:
-        _send_control(net, n, root, on_token)
+        when = (arrivals or {}).get(n)
+        if when is None:
+            _send_control(net, n, root, on_token)
+        else:
+            net.engine.at(
+                when, lambda n=n: _send_control(net, n, root, on_token)
+            )
     return result
 
 
@@ -251,15 +317,23 @@ def allreduce(
     root: int = 0,
     scheme_name: str = "tree",
     on_complete: Callable[[CollectiveResult], None] | None = None,
+    participants: list[int] | None = None,
     **scheme_kw,
 ) -> CollectiveResult:
     """Reduce-to-root followed by a broadcast of the result.
 
     The broadcast leg uses the chosen multicast scheme, so the NI-vs-switch
     question applies to half of the operation's critical path.
+
+    A single-participant allreduce is degenerate -- the node combines with
+    itself -- and completes after one host overhead block; it must neither
+    hang in the reduce leg nor launch an empty multicast.
     """
-    nodes = list(range(net.topo.num_nodes))
-    result = CollectiveResult("allreduce", root, tuple(nodes), net.engine.now)
+    members = _resolve_participants(net, root, participants)
+    result = CollectiveResult("allreduce", root, members, net.engine.now)
+    if len(members) == 1:
+        _complete_degenerate(net, result, on_complete)
+        return result
 
     def bcast_done(b: CollectiveResult) -> None:
         result.node_times.update(b.node_times)
@@ -268,9 +342,10 @@ def allreduce(
             on_complete(result)
 
     def reduce_done(_r: CollectiveResult) -> None:
-        broadcast(net, root, scheme_name, bcast_done, **scheme_kw)
+        broadcast(net, root, scheme_name, bcast_done,
+                  participants=list(members), **scheme_kw)
 
-    reduce_to_root(net, root, reduce_done)
+    reduce_to_root(net, root, reduce_done, participants=list(members))
     return result
 
 
@@ -278,26 +353,33 @@ def reduce_to_root(
     net: SimNetwork,
     root: int = 0,
     on_complete: Callable[[CollectiveResult], None] | None = None,
+    participants: list[int] | None = None,
 ) -> CollectiveResult:
     """All-to-one reduction over a binomial combining tree.
 
     The inverse of the binomial multicast: leaves send full messages up a
     binomial tree; each interior node combines (its host overhead models the
     operator) and forwards one message to its parent.  Completion is the
-    root's receipt of its last child's contribution.
+    root's receipt of its last child's contribution.  A single-participant
+    reduce combines locally: one host overhead block, no messages.
     """
     from repro.multicast.binomial import build_binomial_tree
     from repro.multicast.ordering import contention_aware_order
 
-    nodes = list(range(net.topo.num_nodes))
+    members = _resolve_participants(net, root, participants)
+    nodes = list(members)
     others = [n for n in nodes if n != root]
+    if not others:
+        result = CollectiveResult("reduce", root, members, net.engine.now)
+        _complete_degenerate(net, result, on_complete)
+        return result
     ordered = contention_aware_order(net.topo, net.routing, root, others)
     tree = build_binomial_tree([root] + ordered)
     parent: dict[int, int] = {}
     for p, children in tree.items():
         for c in children:
             parent[c] = p
-    result = CollectiveResult("reduce", root, tuple(nodes), net.engine.now)
+    result = CollectiveResult("reduce", root, members, net.engine.now)
     n_packets = net.params.message_packets
     waiting = {n: len(tree[n]) for n in nodes}
 

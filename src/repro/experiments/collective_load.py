@@ -1,0 +1,197 @@
+"""Collective workload sweep: tail latency under open-loop deadline traffic.
+
+Extension experiment (registry-listed, not a paper figure): the paper's
+load figures drive independent fixed-degree multicasts; this sweep drives
+whole *collectives* (broadcast, allreduce, barrier -- the operations the
+paper's introduction motivates multicast with) as an open-loop arrival
+stream with per-operation deadlines, and reports the tail (p50/p99/p999),
+the deadline-miss fraction, and the saturation point per
+(scheme x collective x offered rate) cell.
+
+Axes beyond the main grid, each swept over the same rates:
+
+* ``mlstep`` -- the bursty ML-training arrival process instead of Poisson
+  (same mean rate, bunched into synchronized steps);
+* ``vcs=2`` -- two virtual channels per physical channel (does blocking
+  relief move the collective tail the way it moves the multicast mean?);
+* ``faulted`` -- runtime link failures with retried reliable delivery
+  (broadcast-only; the other collectives' control planes have no retry
+  path).
+
+Every cell's seed key excludes the scheme (the pairing rule), so all
+schemes of a grid point are offered the byte-identical arrival schedule.
+The y-value is p99 completion latency; saturated points report None, like
+the paper-figure load sweeps.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.base import ENHANCED_SCHEMES, ExperimentResult, Series
+from repro.experiments.config import Profile
+from repro.experiments.runner import Cell, derive_seed, execute_cells
+from repro.params import SimParams
+
+EXP_ID = "collective-load"
+
+COLLECTIVES = ("broadcast", "allreduce", "barrier")
+
+QUICK_RATES = (0.0001, 0.0003, 0.0006, 0.0012)
+FULL_RATES = (0.00005, 0.0001, 0.0002, 0.0004, 0.0008, 0.0012, 0.0016)
+"""Offered collective-op rates (ops/cycle, whole machine).  The quick span
+covers comfortably-unsaturated through clearly-saturated for every
+collective at the default 32-node system."""
+
+DEADLINE_FACTOR = 4.0
+FAULT_COUNT = 2
+"""Link failures injected per faulted cell (inside the admission window)."""
+
+
+def _cells(
+    profile: Profile,
+    base: SimParams,
+    rates: tuple[float, ...],
+    collective: str,
+    process: str,
+    vcs: int,
+    faults: int,
+) -> list[Cell]:
+    params = base if vcs == 1 else base.replace(vc_count=vcs)
+    knobs = (
+        ("duration", profile.load_duration),
+        ("warmup", profile.load_warmup),
+        ("process", process),
+        ("deadline_factor", DEADLINE_FACTOR),
+        ("faults", faults),
+    )
+    return [
+        Cell(
+            kind="workload",
+            exp_id=EXP_ID,
+            params=params,
+            scheme=scheme,
+            coords=(("collective", collective), ("rate", rate)),
+            knobs=knobs,
+            # Scheme excluded from the seed key: paired offered traffic.
+            seed=derive_seed(
+                profile.seed, EXP_ID, collective, rate, process, vcs, faults
+            ),
+        )
+        for scheme in ENHANCED_SCHEMES
+        for rate in rates
+    ]
+
+
+def _saturation_point(rates: tuple[float, ...], block: list[dict]) -> float | None:
+    """Smallest offered rate that saturated (None = never saturated)."""
+    for rate, v in zip(rates, block):
+        if v["saturated"]:
+            return rate
+    return None
+
+
+def _series(
+    label_suffix: str,
+    rates: tuple[float, ...],
+    values: list[dict],
+    extra_meta: dict,
+) -> list[Series]:
+    """One series per scheme out of a scheme-major block of cell values."""
+    series = []
+    for si, scheme in enumerate(ENHANCED_SCHEMES):
+        block = values[si * len(rates):(si + 1) * len(rates)]
+        series.append(
+            Series(
+                label=f"{scheme} {label_suffix}",
+                x=[float(r) for r in rates],
+                y=[
+                    None if v["saturated"] else v["latency"]["p99"]
+                    for v in block
+                ],
+                meta={
+                    "scheme": scheme,
+                    "saturation_point": _saturation_point(rates, block),
+                    **extra_meta,
+                    "points": [
+                        {
+                            "rate": rate,
+                            "admitted": v["admitted"],
+                            "measured": v["measured"],
+                            "completed": v["completed"],
+                            "miss_fraction": v["miss_fraction"],
+                            "throughput": v["throughput"],
+                            "saturated": v["saturated"],
+                            "latency": v["latency"],
+                            "baselines": v["baselines"],
+                            "faults_fired": v["faults_fired"],
+                            "gave_up": v["gave_up"],
+                            "digest": v["digest"],
+                        }
+                        for rate, v in zip(rates, block)
+                    ],
+                },
+            )
+        )
+    return series
+
+
+def run(profile: Profile, base: SimParams | None = None) -> ExperimentResult:
+    base = base or SimParams()
+    rates = FULL_RATES if profile.name == "full" else QUICK_RATES
+
+    blocks: list[tuple[str, dict, list[Cell]]] = []
+    for collective in COLLECTIVES:
+        blocks.append(
+            (
+                collective,
+                {"collective": collective, "process": "poisson"},
+                _cells(profile, base, rates, collective, "poisson", 1, 0),
+            )
+        )
+    blocks.append(
+        (
+            "broadcast mlstep",
+            {"collective": "broadcast", "process": "mlstep"},
+            _cells(profile, base, rates, "broadcast", "mlstep", 1, 0),
+        )
+    )
+    blocks.append(
+        (
+            "broadcast vcs=2",
+            {"collective": "broadcast", "process": "poisson", "vcs": 2},
+            _cells(profile, base, rates, "broadcast", "poisson", 2, 0),
+        )
+    )
+    blocks.append(
+        (
+            "broadcast faulted",
+            {
+                "collective": "broadcast",
+                "process": "poisson",
+                "faults": FAULT_COUNT,
+            },
+            _cells(
+                profile, base, rates, "broadcast", "poisson", 1, FAULT_COUNT
+            ),
+        )
+    )
+
+    all_cells = [c for _, _, cells in blocks for c in cells]
+    values = execute_cells(all_cells)
+
+    series: list[Series] = []
+    i = 0
+    for suffix, extra_meta, cells in blocks:
+        block_values = values[i:i + len(cells)]
+        i += len(cells)
+        series.extend(_series(suffix, rates, block_values, extra_meta))
+
+    return ExperimentResult(
+        exp_id=EXP_ID,
+        title=(
+            "Collective workloads under open-loop deadline traffic: "
+            "p99 completion latency vs offered rate"
+        ),
+        x_label="offered collective rate (ops/cycle)",
+        y_label="p99 completion latency (cycles)",
+        series=series,
+    )

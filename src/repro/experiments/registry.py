@@ -26,6 +26,7 @@ from typing import Callable
 
 from repro.experiments import (
     ablation,
+    collective_load,
     extra_omitted,
     fig06_ratio,
     fig07_switches,
@@ -71,6 +72,7 @@ EXPERIMENTS: dict[str, Callable[[Profile], ExperimentResult]] = {
     "shard-scaling": shard_scaling.run,
     "group-churn": group_churn.run,
     "vc-ablation": vc_ablation.run,
+    "collective-load": collective_load.run,
 }
 
 PAPER_FIGURES = ("fig06", "fig07", "fig08", "fig09", "fig10", "fig11")

@@ -202,6 +202,29 @@ def run_cell(cell: Cell) -> dict:
             "boundary_links": len(res.plan.boundary_links),
             "canonical_digest": res.canonical,
         }
+    if cell.kind == "workload":
+        from repro.workloads import run_workload_cell
+
+        # One open-loop collective workload point.  The seed key excludes
+        # the scheme (pairing rule), so every scheme is offered the
+        # byte-identical arrival schedule.  Workload cells are single-shard
+        # by design -- collectives complete through host-level callbacks
+        # that cannot cross shard windows -- so the ``--shards`` budget is
+        # deliberately ignored here and results are byte-identical at any
+        # shard setting (docs/workloads.md).
+        return run_workload_cell(
+            cell.params,
+            cell.scheme,
+            seed=cell.seed,
+            collective=str(cell.coord("collective")),
+            rate=float(cell.coord("rate")),
+            duration=float(cell.knob("duration")),
+            warmup=float(cell.knob("warmup")),
+            process=str(cell.knob("process")),
+            deadline_factor=float(cell.knob("deadline_factor")),
+            fault_count=int(cell.knob("faults")),
+            scheme_kw=dict(cell.scheme_kw),
+        )
     if cell.kind == "churn":
         from repro.groups import run_paired_churn
 

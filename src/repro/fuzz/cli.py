@@ -63,7 +63,8 @@ def cmd_run(args: argparse.Namespace) -> int:
                                      fault_rate=args.fault_rate,
                                      churn_rate=args.churn_rate,
                                      vc_rate=args.vc_rate,
-                                     vc_count=args.vc_count)
+                                     vc_count=args.vc_count,
+                                     collective_rate=args.collective_rate)
         report = run_oracles(scenario)
         executed += 1
         skipped += len(report.skipped)
@@ -174,12 +175,14 @@ def cmd_corpus(args: argparse.Namespace) -> int:
             sc.fault_schedule else ""
         churn = f" churn={len(sc.churn_ops)}" if sc.churn_ops else ""
         vcs = f" vcs={sc.params.vc_count}" if sc.params.vc_count > 1 else ""
+        collectives = f" collectives={len(sc.collective_ops)}" if \
+            sc.collective_ops else ""
         _out(
             f"{path.name}: switches={sc.topo.num_switches} "
             f"nodes={sc.topo.num_nodes} links={len(sc.topo.links)} "
             f"dests={len(sc.dests)} "
             f"schemes=[{', '.join(spec_label(s) for s in sc.schemes)}]"
-            f"{degraded}{chaos}{churn}{vcs}"
+            f"{degraded}{chaos}{churn}{vcs}{collectives}"
         )
     _out(f"{len(entries)} corpus entr{'y' if len(entries) == 1 else 'ies'}")
     return 0
@@ -215,6 +218,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="probability a scenario runs with multiple "
                             "virtual channels (0 keeps every draw "
                             "single-lane)")
+    p_run.add_argument("--collective-rate", type=float, default=0.2,
+                       help="probability a scenario carries an open-loop "
+                            "collective admission schedule (0 disables "
+                            "collectives mode)")
     p_run.add_argument("--vc-count", type=int, default=None,
                        help="force this many virtual channels on every "
                             "scenario (overrides --vc-rate's draw)")

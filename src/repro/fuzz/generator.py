@@ -146,22 +146,42 @@ def _draw_churn_ops(
     return tuple(ops)
 
 
+def _draw_collective_ops(
+    rng: random.Random, num_nodes: int
+) -> tuple[tuple[float, str, int], ...]:
+    """A short open-loop collective admission schedule.
+
+    Admission times are small and increasing (ops overlap in flight --
+    the interesting regime for the workload driver's accounting) and kinds
+    mix all three collectives.
+    """
+    ops: list[tuple[float, str, int]] = []
+    t = 0.0
+    for _ in range(rng.randint(2, 5)):
+        t += rng.uniform(0.0, 60.0)
+        kind = rng.choice(("broadcast", "allreduce", "barrier"))
+        ops.append((round(t, 3), kind, rng.randrange(num_nodes)))
+    return tuple(ops)
+
+
 def generate_scenario(
     base_seed: int, index: int, fault_rate: float = 0.3,
     churn_rate: float = 0.25, vc_rate: float = 0.25,
-    vc_count: int | None = None,
+    vc_count: int | None = None, collective_rate: float = 0.2,
 ) -> FuzzScenario:
     """Scenario ``index`` of the run seeded by ``base_seed`` (pure function).
 
     ``fault_rate`` is the probability that the scenario carries a runtime
     fault schedule (chaos mode); ``churn_rate`` the probability it carries
     a membership churn stream (churn mode); ``vc_rate`` the probability the
-    fabric runs with multiple virtual channels per physical channel.  Pass
-    0.0 to disable any of them.  Each chance draw happens regardless of its
-    rate, so the rest of the scenario is identical across rates for the
-    same ``(seed, index)``.  ``vc_count`` forces a specific lane count
-    (overriding the draw, e.g. CI's fixed 4-VC stream); the draws still
-    happen, keeping the stream aligned with unforced runs.
+    fabric runs with multiple virtual channels per physical channel;
+    ``collective_rate`` the probability it carries an open-loop collective
+    admission schedule (collectives mode).  Pass 0.0 to disable any of
+    them.  Each chance draw happens regardless of its rate, so the rest of
+    the scenario is identical across rates for the same ``(seed, index)``.
+    ``vc_count`` forces a specific lane count (overriding the draw, e.g.
+    CI's fixed 4-VC stream); the draws still happen, keeping the stream
+    aligned with unforced runs.
     """
     rng = random.Random(derive_seed(base_seed, "fuzz-scenario", index))
     params = _draw_params(rng)
@@ -203,6 +223,13 @@ def generate_scenario(
         params = params.replace(vc_count=vc_count)
     elif vc_chance < vc_rate:
         params = params.replace(vc_count=vc_lanes)
+    # Collective draws come after the VC draws (the append-last rule: every
+    # pre-collectives corpus replays with unchanged digests) and the chance
+    # draw is always consumed -- stream stability across collective_rate.
+    collective_chance = rng.random()
+    collective_ops: tuple[tuple[float, str, int], ...] = ()
+    if collective_chance < collective_rate:
+        collective_ops = _draw_collective_ops(rng, n)
     return FuzzScenario(
         topo=topo,
         params=params,
@@ -213,5 +240,6 @@ def generate_scenario(
         degraded_links=failed,
         fault_schedule=fault_schedule,
         churn_ops=churn_ops,
+        collective_ops=collective_ops,
         label=f"seed={base_seed}/iter={index}",
     )

@@ -51,7 +51,14 @@ every fuzz scenario:
   replan-every-change twin are driven through the same join/leave ops,
   and after every op both must deliver exactly the current member set
   (exactly-once under churn), with every accepted patch passing the
-  static plan verifiers.
+  static plan verifiers;
+* **collectives** -- for scenarios with an open-loop collective admission
+  schedule (:mod:`repro.workloads`): every scheme drives the identical
+  schedule through the workload engine's admission loop, every admitted
+  operation must complete by the drain horizon with its kind's exact
+  participant accounting (exactly-once delivery under overlapping
+  collectives), the network must end quiescent, and channel/lane
+  conservation must hold after the drain.
 
 Chaos scenarios change the dynamic checks, not the bar: each scheme is
 wrapped in :class:`~repro.chaos.ReliableMulticast`, deliveries are the
@@ -108,6 +115,7 @@ ORACLES = (
     "backend-differential",
     "chaos",
     "churn",
+    "collectives",
 )
 """Every oracle name, in report order."""
 
@@ -157,6 +165,11 @@ class ScenarioReport:
             head += f" faults={[lk for _t, lk in sc.fault_schedule]}"
         if sc.churn_ops:
             head += f" churn={[f'{op}:{n}' for op, n in sc.churn_ops]}"
+        if sc.collective_ops:
+            head += (
+                " collectives="
+                f"{[f'{k}@{t:g}->r{r}' for t, k, r in sc.collective_ops]}"
+            )
         if sc.label:
             head += f" ({sc.label})"
         lines = [head]
@@ -576,6 +589,83 @@ def _check_churn(scenario: FuzzScenario, report: ScenarioReport) -> None:
                 f"churn run crashed: {type(exc).__name__}: {exc}"))
 
 
+def _check_collectives(scenario: FuzzScenario, report: ScenarioReport) -> None:
+    """Collectives accounting: the open-loop admission loop under oracles.
+
+    Per scheme, a fresh network drives the scenario's admission schedule
+    through the workload engine's :func:`repro.workloads.driver
+    .drive_admissions` -- the very loop the ``collective-load`` experiment
+    uses -- then requires: every admitted op completed by the drain horizon
+    (an incomplete collective on a fully drained engine is a hang, the
+    collective analogue of a deadlocked worm); each op's per-node
+    accounting matches its kind exactly (broadcast and allreduce notify
+    every non-root node once, a barrier releases every participant
+    including the root); the network ends quiescent; and channel/lane
+    conservation holds after the drain (reported under those oracles'
+    own names).
+    """
+    from repro.workloads.arrivals import OpArrival
+    from repro.workloads.driver import drive_admissions
+
+    expected_notified = {
+        "broadcast": scenario.topo.num_nodes - 1,
+        "allreduce": scenario.topo.num_nodes - 1,
+        "barrier": scenario.topo.num_nodes,
+    }
+    schedule = [
+        OpArrival(i, t, t, kind, root)
+        for i, (t, kind, root) in enumerate(scenario.collective_ops)
+    ]
+    for spec in scenario.schemes:
+        label = f"collectives:{spec_label(spec)}"
+        try:
+            net = SimNetwork(scenario.topo, scenario.params)
+            net.worm_log = []
+            records = drive_admissions(
+                net, spec[0], schedule, scheme_kw=dict(spec[1])
+            )
+            net.engine.run(max_events=MAX_EVENTS)
+            if net.engine.pending:
+                report.violations.append(Violation(
+                    "collectives", label,
+                    f"engine hit the {MAX_EVENTS}-event budget with "
+                    f"{net.engine.pending} event(s) still pending"))
+                continue
+            for rec in records:
+                if not rec.complete:
+                    report.violations.append(Violation(
+                        "collectives", label,
+                        f"op {rec.index} ({rec.kind} root {rec.root}, "
+                        f"admitted at {rec.admit_time:g}) never completed "
+                        "on a drained engine"))
+                    continue
+                if rec.complete_time < rec.admit_time:
+                    report.violations.append(Violation(
+                        "collectives", label,
+                        f"op {rec.index} completed at {rec.complete_time!r} "
+                        f"before its admission at {rec.admit_time!r}"))
+                want = expected_notified[rec.kind]
+                if rec.delivered != want:
+                    report.violations.append(Violation(
+                        "collectives", label,
+                        f"op {rec.index} ({rec.kind}) notified "
+                        f"{rec.delivered} node(s); its kind requires "
+                        f"exactly {want}"))
+            try:
+                net.assert_quiescent()
+            except AssertionError as exc:
+                report.violations.append(Violation(
+                    "collectives", label, str(exc)))
+            expected = _audit_worm_hops(net, label, report.violations)
+            _check_conservation(net, expected, label, report.violations)
+            _check_lane_conservation(net, label, report.violations)
+        except (RuntimeError, ValueError, AssertionError, KeyError,
+                TypeError) as exc:
+            report.violations.append(Violation(
+                "collectives", label,
+                f"collectives run crashed: {type(exc).__name__}: {exc}"))
+
+
 def run_oracles(scenario: FuzzScenario) -> ScenarioReport:
     """Run every oracle on one scenario; the full differential pass."""
     report = ScenarioReport(scenario=scenario)
@@ -601,6 +691,9 @@ def run_oracles(scenario: FuzzScenario) -> ScenarioReport:
 
     if scenario.churn_ops:
         _check_churn(scenario, report)
+
+    if scenario.collective_ops:
+        _check_collectives(scenario, report)
 
     # scheme-differential: identical delivery sets across the roster.
     by_set: dict[tuple[int, ...], list[str]] = {}

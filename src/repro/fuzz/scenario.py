@@ -78,6 +78,15 @@ class FuzzScenario:
     replan-every-change twin through the stream and requires identical
     delivery sets after every op.  Empty means a static destination set."""
 
+    collective_ops: tuple[tuple[float, str, int], ...] = ()
+    """Open-loop collective admissions ``(admit_time, kind, root)`` driven
+    through the workload engine (collectives mode): every scheme in the
+    roster drives the identical schedule via
+    :func:`repro.workloads.driver.drive_admissions` and the oracle requires
+    full accounting -- every admitted op completes by the drain horizon or
+    is explicitly counted, and the fabric is conserved afterwards.  Empty
+    means no collective workload."""
+
     label: str = ""
     """Free-form provenance tag, e.g. ``seed=7/iter=13``."""
 
@@ -114,6 +123,15 @@ class FuzzScenario:
                 if len(members) == 1:
                     raise ValueError("churn must never empty the group")
                 members.remove(node)
+        # Kinds mirror repro.workloads.arrivals.COLLECTIVE_KINDS (kept as a
+        # literal here so the scenario data layer stays import-light).
+        for t, kind, root in self.collective_ops:
+            if t < 0:
+                raise ValueError("collective admit times must be non-negative")
+            if kind not in ("broadcast", "allreduce", "barrier"):
+                raise ValueError(f"unknown collective kind {kind!r}")
+            if not 0 <= root < self.topo.num_nodes:
+                raise ValueError(f"collective root {root} outside the topology")
 
     # ------------------------------------------------------------------
     # Serialization
@@ -121,9 +139,10 @@ class FuzzScenario:
     def to_dict(self) -> dict:
         """JSON-ready plain-data form (stable key order via json dumps).
 
-        ``fault_schedule`` and ``churn_ops`` are omitted when empty so
-        scenarios without them keep the digests (and corpus file names)
-        they had before chaos/churn mode existed; the default VC params
+        ``fault_schedule``, ``churn_ops``, and ``collective_ops`` are
+        omitted when empty so scenarios without them keep the digests (and
+        corpus file names) they had before chaos/churn/collectives mode
+        existed; the default VC params
         (``vc_count=1``, ``vc_routing="updown"``) are stripped for the same
         reason -- single-lane scenarios keep their pre-VC digests.
         """
@@ -150,6 +169,10 @@ class FuzzScenario:
             out["fault_schedule"] = [[t, lk] for t, lk in self.fault_schedule]
         if self.churn_ops:
             out["churn_ops"] = [[op, n] for op, n in self.churn_ops]
+        if self.collective_ops:
+            out["collective_ops"] = [
+                [t, kind, root] for t, kind, root in self.collective_ops
+            ]
         return out
 
     @classmethod
@@ -176,6 +199,10 @@ class FuzzScenario:
             ),
             churn_ops=tuple(
                 (str(op), int(n)) for op, n in data.get("churn_ops", ())
+            ),
+            collective_ops=tuple(
+                (float(t), str(kind), int(root))
+                for t, kind, root in data.get("collective_ops", ())
             ),
             label=str(data.get("label", "")),
         )
@@ -214,6 +241,7 @@ class FuzzScenario:
             len(self.topo.links),
             self.params.message_flits,
             len(self.churn_ops),
+            len(self.collective_ops),
         )
 
 

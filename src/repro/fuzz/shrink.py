@@ -21,6 +21,9 @@ and keeps any variant on which the predicate still holds:
 * **churn** -- drop membership churn ops (prefix halves, then singles),
   re-filtered so the surviving stream stays valid against the (possibly
   shrunken) destination set;
+* **collectives** -- drop open-loop collective admissions (halves, then
+  singles; a one-op workload reproducer beats five); surviving roots are
+  kept alive by the host pass, which renumbers them with everything else;
 * **virtual channels** -- reduce ``vc_count`` toward the single-lane
   fabric (1 first, then 2), resetting escape routing to plain up*/down*
   when the escape lane requirement (>= 2 VCs) would be violated.
@@ -194,7 +197,12 @@ def _shrink_message(sc: FuzzScenario, failing: Predicate) -> FuzzScenario | None
 
 
 def _shrink_hosts(sc: FuzzScenario, failing: Predicate) -> FuzzScenario | None:
-    used = {sc.source, *sc.dests, *(n for _op, n in sc.churn_ops)}
+    used = {
+        sc.source,
+        *sc.dests,
+        *(n for _op, n in sc.churn_ops),
+        *(root for _t, _kind, root in sc.collective_ops),
+    }
     spare = [n for n in range(sc.topo.num_nodes) if n not in used]
     if not spare:
         return None
@@ -207,6 +215,10 @@ def _shrink_hosts(sc: FuzzScenario, failing: Predicate) -> FuzzScenario | None:
             dests=tuple(remap[d] for d in sc.dests),
             churn_ops=tuple(
                 (op, remap[n]) for op, n in sc.churn_ops
+            ),
+            collective_ops=tuple(
+                (t, kind, remap[root])
+                for t, kind, root in sc.collective_ops
             ),
         )
         if failing(candidate):
@@ -288,6 +300,26 @@ def _shrink_churn(sc: FuzzScenario, failing: Predicate) -> FuzzScenario | None:
     return None
 
 
+def _shrink_collectives(
+    sc: FuzzScenario, failing: Predicate
+) -> FuzzScenario | None:
+    if not sc.collective_ops:
+        return None
+    half = len(sc.collective_ops) // 2
+    trials = []
+    if half:
+        trials.extend([sc.collective_ops[:half], sc.collective_ops[half:]])
+    trials.extend(
+        sc.collective_ops[:i] + sc.collective_ops[i + 1:]
+        for i in range(len(sc.collective_ops))
+    )
+    for kept in trials:
+        candidate = sc.with_changes(collective_ops=kept)
+        if failing(candidate):
+            return candidate
+    return None
+
+
 def _shrink_vcs(sc: FuzzScenario, failing: Predicate) -> FuzzScenario | None:
     p = sc.params
     if p.vc_count <= 1:
@@ -309,6 +341,7 @@ _PASSES = (
     _shrink_schemes,
     _shrink_faults,
     _shrink_churn,
+    _shrink_collectives,
     _shrink_dests,
     _shrink_hosts,
     _shrink_links,

@@ -1,5 +1,8 @@
 """Latency statistics and summaries (system S14)."""
 
+from repro.metrics.quantiles import QuantileDigest
 from repro.metrics.stats import LatencySummary, mean, percentile, summarize
 
-__all__ = ["LatencySummary", "mean", "percentile", "summarize"]
+__all__ = [
+    "LatencySummary", "QuantileDigest", "mean", "percentile", "summarize",
+]

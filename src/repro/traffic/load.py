@@ -50,9 +50,22 @@ class LoadPoint:
     """Operations generated before ``warmup`` -- they load the network but
     are excluded from latency statistics and the saturation check."""
 
+    measured_window: float = 0.0
+    """Length in cycles of the measurement window (generation end minus
+    warmup, after any ``min_measured_ops`` extension).  Zero when warmup
+    consumed the whole generation window -- such a point has no measured
+    population and must report unsaturated, not divide by zero."""
+
     @property
     def completion_ratio(self) -> float:
         return self.completed / self.issued if self.issued else 1.0
+
+    @property
+    def throughput(self) -> float:
+        """Measured completions per cycle; 0.0 on a zero-duration window."""
+        if self.measured_window <= 0:
+            return 0.0
+        return self.completed / self.measured_window
 
 
 def saturated_by_shortfall(
@@ -147,6 +160,10 @@ def run_load_experiment(
     completed = [r for r in measured if r.complete]
     lat = [r.latency for r in completed]
     summary = summarize(lat) if lat else None
+    # A warmup at or past the generation end leaves a zero-duration
+    # measurement window: nothing is measured, so the saturation rule sees
+    # issued == 0 and reports False (the shortfall rule's vacuous case),
+    # and the throughput property guards the division.
     return LoadPoint(
         effective_load=effective_load,
         degree=degree,
@@ -158,6 +175,7 @@ def run_load_experiment(
             len(measured), len(completed), saturation_threshold
         ),
         warmup_ops=warmup_ops,
+        measured_window=float(max(0, duration - warmup)),
     )
 
 

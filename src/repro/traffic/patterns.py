@@ -1,18 +1,23 @@
-"""Destination-set distributions for multicast traffic.
+"""Destination-set distributions and arrival processes for traffic.
 
 The paper draws destination sets uniformly; real collective traffic is
-often structured.  These patterns plug into the load driver (``pattern=``)
-and let extension experiments ask how locality changes the NI-vs-switch
-answer.
+often structured.  The *spatial* patterns plug into the load driver
+(``pattern=``) and let extension experiments ask how locality changes the
+NI-vs-switch answer.  The *temporal* arrival processes at the bottom drive
+the open-loop collective workload engine (:mod:`repro.workloads`): they
+emit unit-rate arrival clocks that the engine scales by the offered rate,
+so the op sequence is rate-independent by construction.
 
 A pattern is ``fn(rng, topo, source, degree) -> list[int]`` returning
-``degree`` distinct destinations excluding the source.
+``degree`` distinct destinations excluding the source.  An arrival process
+is ``fn(rng) -> Iterator[float]`` yielding a nondecreasing unit-rate
+arrival time per operation, forever.
 """
 
 from __future__ import annotations
 
 import random
-from typing import Callable
+from typing import Callable, Iterator
 
 from repro.topology.graph import NetworkTopology
 
@@ -111,4 +116,69 @@ def resolve_pattern(pattern: str | PatternFn | None) -> PatternFn:
     except KeyError:
         raise ValueError(
             f"unknown pattern {pattern!r}; choose from {sorted(PATTERNS)}"
+        )
+
+
+# ----------------------------------------------------------------------
+# Temporal arrival processes (unit rate; the workload engine scales time)
+# ----------------------------------------------------------------------
+ArrivalProcess = Callable[[random.Random], Iterator[float]]
+"""``fn(rng) -> iterator`` of nondecreasing unit-rate arrival times.
+
+Both built-in processes consume exactly one ``rng`` draw per emitted
+arrival, so switching processes never desynchronises any stream drawn from
+the same :class:`random.Random` afterwards.
+"""
+
+MLSTEP_BURST = 8
+"""Operations per training step of the bursty ML-step process."""
+
+_MLSTEP_SPREAD = 0.5
+"""Intra-burst spacing scale, in unit-rate time per op (must stay < 1 so
+bursts never overrun their step and the clock stays monotone)."""
+
+
+def poisson_arrivals(rng: random.Random) -> Iterator[float]:
+    """Memoryless arrivals: i.i.d. unit-mean exponential gaps."""
+    t = 0.0
+    while True:
+        t += rng.expovariate(1.0)
+        yield t
+
+
+def mlstep_arrivals(rng: random.Random) -> Iterator[float]:
+    """Bursty ML-step arrivals (synchronized training iterations).
+
+    Time advances in steps of ``MLSTEP_BURST`` unit-rate units; each step
+    fires a burst of ``MLSTEP_BURST`` operations bunched at the step start
+    with small jittered gaps (stragglers), then the line goes quiet until
+    the next step.  Long-run average rate is 1 op per unit time -- the same
+    offered load as the Poisson process, delivered in bursts.
+    """
+    step = 0
+    while True:
+        t = float(step * MLSTEP_BURST)
+        for _ in range(MLSTEP_BURST):
+            t += _MLSTEP_SPREAD * rng.random()
+            yield t
+        step += 1
+
+
+ARRIVAL_PROCESSES: dict[str, ArrivalProcess] = {
+    "poisson": poisson_arrivals,
+    "mlstep": mlstep_arrivals,
+}
+"""Registry consumed by the workload engine's ``process`` argument."""
+
+
+def resolve_arrival_process(process: str | ArrivalProcess) -> ArrivalProcess:
+    """Name or callable -> callable."""
+    if callable(process):
+        return process
+    try:
+        return ARRIVAL_PROCESSES[process]
+    except KeyError:
+        raise ValueError(
+            f"unknown arrival process {process!r}; choose from "
+            f"{sorted(ARRIVAL_PROCESSES)}"
         )

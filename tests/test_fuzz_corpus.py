@@ -43,6 +43,21 @@ def test_corpus_includes_chaos_scenarios():
     )
 
 
+def test_corpus_includes_a_collectives_scenario():
+    # At least one entry must drive the open-loop workload path, and it
+    # must mix all three collective kinds so the oracle's per-kind
+    # accounting (delivered counts, drain completeness) is pinned.
+    mixes = [
+        {kind for _t, kind, _r in sc.collective_ops}
+        for _, sc in ENTRIES
+        if sc.collective_ops
+    ]
+    assert mixes, "corpus must hold a collective-workload scenario"
+    assert any(
+        m >= {"broadcast", "allreduce", "barrier"} for m in mixes
+    ), "a collectives entry must mix all three kinds"
+
+
 def test_corpus_entries_are_minimized_small():
     for path, sc in ENTRIES:
         assert sc.topo.num_switches <= 8, path.name

@@ -318,3 +318,103 @@ def test_summary_internally_consistent(xs):
     assert s.min - eps <= s.mean <= s.max + eps
     assert s.std >= 0
     assert s.count == len(xs)
+
+
+# ----------------------------------------------------------------------
+# Workload-layer invariants: the quantile digest agrees with the stdlib,
+# allreduce can never beat its own legs, and a barrier completes exactly
+# when its last participant has launched
+# ----------------------------------------------------------------------
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(
+        # Small integer-valued pools force heavy ties, the interpolation
+        # hazard case; mixing in raw floats covers the generic one.
+        st.one_of(
+            st.integers(min_value=0, max_value=8).map(float),
+            st.floats(min_value=-1e6, max_value=1e6),
+        ),
+        min_size=1, max_size=80,
+    ),
+)
+def test_quantile_digest_matches_stdlib_inclusive(xs):
+    import statistics
+
+    from repro.metrics.quantiles import QuantileDigest
+
+    digest = QuantileDigest()
+    for x in xs:
+        digest.add(x)
+    assert digest.count == len(xs)
+    if len(xs) == 1:
+        for q in (0.0, 0.25, 0.5, 0.99, 1.0):
+            assert digest.quantile(q) == xs[0]
+        return
+    cuts = statistics.quantiles(xs, n=20, method="inclusive")
+    for k, want in enumerate(cuts, start=1):
+        got = digest.quantile(k / 20)
+        assert math.isclose(got, want, rel_tol=1e-12, abs_tol=1e-9), (
+            k, got, want
+        )
+    assert digest.quantile(0.0) == min(xs)
+    assert digest.quantile(1.0) == max(xs)
+
+
+@settings(max_examples=8, deadline=None)
+@given(dims, st.sampled_from(["ni", "tree", "path"]), st.data())
+def test_allreduce_at_least_as_slow_as_each_leg(d, scheme_name, data):
+    from repro.collectives import ops as collectives
+
+    topo, params = build_topo(*d)
+    root = data.draw(st.integers(min_value=0, max_value=topo.num_nodes - 1))
+
+    def run_isolated(launch):
+        net = SimNetwork(topo, params)
+        res = launch(net)
+        net.run()
+        assert res.complete
+        return res.latency
+
+    reduce_leg = run_isolated(
+        lambda net: collectives.reduce_to_root(net, root)
+    )
+    bcast_leg = run_isolated(
+        lambda net: collectives.broadcast(net, root, scheme_name)
+    )
+    allreduce = run_isolated(
+        lambda net: collectives.allreduce(net, root, scheme_name)
+    )
+    # The reduce and the broadcast sit on allreduce's critical path back to
+    # back; whatever contention does, it cannot make the composition beat
+    # either leg run alone on an idle network.
+    assert allreduce >= max(reduce_leg, bcast_leg), (
+        allreduce, reduce_leg, bcast_leg
+    )
+
+
+@settings(max_examples=10, deadline=None)
+@given(dims, st.data())
+def test_barrier_completes_iff_all_participants_launched(d, data):
+    from repro.collectives import ops as collectives
+
+    topo, params = build_topo(*d)
+    n = topo.num_nodes
+    root = data.draw(st.integers(min_value=0, max_value=n - 1))
+    others = [x for x in range(n) if x != root]
+    straggler = data.draw(st.sampled_from(others))
+    horizon = 200_000.0
+    arrivals = {straggler: horizon * 2}
+
+    # One participant arrives beyond the horizon: the barrier must still be
+    # open when the engine has drained everything up to the horizon.
+    net = SimNetwork(topo, params)
+    res = collectives.barrier(net, root, "tree", arrivals=arrivals)
+    net.engine.run(until=horizon)
+    assert not res.complete, "barrier released before every arrival"
+
+    # ... and once the straggler's token is in, it must release for all.
+    net.engine.run()
+    assert res.complete
+    assert set(res.node_times) == set(range(n))
+    assert res.complete_time >= horizon * 2
+    net.assert_quiescent()

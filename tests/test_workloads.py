@@ -1,0 +1,402 @@
+"""Directed battery for the open-loop collective workload engine.
+
+Covers the contracts :mod:`repro.workloads` exists to keep:
+
+* the arrival stream is a pure function of its seed, and schedules at
+  different rates share byte-identical op prefixes (the pairing rule's
+  stronger cousin: raising the rate extends the stimulus, never reshuffles
+  it);
+* admissions are open-loop -- the offered schedule is identical for every
+  scheme, however badly one of them copes, including deep saturation;
+* the deadline boundary (completion exactly at the deadline is *met*) is
+  regression-pinned;
+* every completed collective notifies each participant exactly once, per
+  scheme, under overlapping load;
+* a seeded 16-switch broadcast+allreduce mix replays to a pinned golden
+  digest, directly, twice, and through the process-pool cell runner;
+* degenerate single-participant collectives complete at launch plus one
+  host overhead block (and never hang);
+* zero-length measurement windows report zero throughput instead of
+  dividing by zero.
+"""
+
+import json
+
+import pytest
+
+from repro.collectives import ops as collectives
+from repro.experiments.runner import Cell, derive_seed, execute_cells, \
+    execution_context
+from repro.params import SimParams
+from repro.sim.network import SimNetwork
+from repro.topology.irregular import generate_topology_family
+from repro.traffic.load import LoadPoint
+from repro.workloads import (
+    COLLECTIVE_KINDS,
+    OpRecord,
+    WorkloadReport,
+    arrival_schedule,
+    run_workload,
+    run_workload_cell,
+    schedule_digest,
+)
+
+SMALL = SimParams(num_switches=4, num_nodes=8, packet_flits=16)
+"""A fast fabric for workload runs that only check accounting invariants."""
+
+GOLDEN_PARAMS = SimParams(num_switches=16, num_nodes=16, packet_flits=16)
+"""The golden-digest system: 16 switches, one host each."""
+
+GOLDEN_DIGEST = (
+    "9761f020f337e53bdd2db282605eff24ac857285c175c156a9b1e3ca893a57a7"
+)
+"""Replay fingerprint of the seeded golden mix below.  A change here means
+the workload engine's observable behaviour changed -- schedule, completion
+times, deadline verdicts, or delivery counts -- and must be intentional."""
+
+
+def _small_topo():
+    return generate_topology_family(SMALL, 1)[0]
+
+
+# ----------------------------------------------------------------------
+# Arrival stream
+# ----------------------------------------------------------------------
+class TestArrivalStream:
+    def test_same_seed_same_schedule(self):
+        a = arrival_schedule(7, rate=0.001, duration=30_000, num_nodes=16)
+        b = arrival_schedule(7, rate=0.001, duration=30_000, num_nodes=16)
+        assert [op.key() for op in a] == [op.key() for op in b]
+        assert schedule_digest(a) == schedule_digest(b)
+        assert len(a) > 0
+
+    def test_different_seeds_differ(self):
+        a = arrival_schedule(7, rate=0.001, duration=30_000, num_nodes=16)
+        b = arrival_schedule(8, rate=0.001, duration=30_000, num_nodes=16)
+        assert schedule_digest(a) != schedule_digest(b)
+
+    @pytest.mark.parametrize("process", ["poisson", "mlstep"])
+    def test_higher_rate_extends_the_same_prefix(self, process):
+        # The unit-rate clock makes the op sequence rate-independent: the
+        # low-rate schedule is byte-for-byte a prefix of the high-rate one
+        # (in (index, unit_time, kind, root); scaled times differ by 1/rate).
+        low = arrival_schedule(
+            11, rate=0.0005, duration=20_000, num_nodes=16, process=process
+        )
+        high = arrival_schedule(
+            11, rate=0.002, duration=20_000, num_nodes=16, process=process
+        )
+        assert 0 < len(low) < len(high)
+        assert [op.key() for op in low] == \
+            [op.key() for op in high][:len(low)]
+
+    def test_draws_stay_in_range(self):
+        ops = arrival_schedule(3, rate=0.002, duration=30_000, num_nodes=5)
+        assert ops, "expected a non-empty schedule"
+        for op in ops:
+            assert op.kind in COLLECTIVE_KINDS
+            assert 0 <= op.root < 5
+            assert 0.0 <= op.time < 30_000
+
+    def test_processes_differ(self):
+        poisson = arrival_schedule(
+            5, rate=0.001, duration=30_000, num_nodes=8, process="poisson"
+        )
+        mlstep = arrival_schedule(
+            5, rate=0.001, duration=30_000, num_nodes=8, process="mlstep"
+        )
+        assert schedule_digest(poisson) != schedule_digest(mlstep)
+
+    @pytest.mark.parametrize(
+        "kw",
+        [
+            {"rate": 0.0},
+            {"rate": -1.0},
+            {"duration": 0.0},
+            {"num_nodes": 0},
+            {"kinds": ()},
+            {"kinds": ("broadcast", "nonsense")},
+            {"process": "lognormal"},
+        ],
+    )
+    def test_invalid_inputs_rejected(self, kw):
+        args = dict(rate=0.001, duration=10_000, num_nodes=8)
+        args.update(kw)
+        with pytest.raises((ValueError, KeyError)):
+            arrival_schedule(1, **args)
+
+
+# ----------------------------------------------------------------------
+# Open-loop admission invariant
+# ----------------------------------------------------------------------
+class TestOpenLoop:
+    def test_admissions_are_scheme_independent(self):
+        topo = _small_topo()
+        reports = [
+            run_workload(
+                topo, SMALL, scheme, seed=21, rate=0.001, duration=8_000,
+                warmup=800,
+            )
+            for scheme in ("ni", "path", "tree")
+        ]
+        assert len({r.admitted for r in reports}) == 1
+        assert len({r.schedule_sha for r in reports}) == 1
+        assert reports[0].admitted > 0
+
+    def test_saturation_does_not_throttle_admissions(self):
+        # Open-loop means open-loop: a rate brutal enough to saturate the
+        # fabric admits exactly as many ops as the schedule says, however
+        # few of them ever complete.
+        topo = _small_topo()
+        schedule = arrival_schedule(
+            33, rate=0.005, duration=4_000, num_nodes=SMALL.num_nodes,
+            kinds=("broadcast",),
+        )
+        report = run_workload(
+            topo, SMALL, "tree", seed=33, rate=0.005, duration=4_000,
+            kinds=("broadcast",),
+        )
+        assert report.admitted == len(schedule)
+        assert report.schedule_sha == schedule_digest(schedule)
+
+
+# ----------------------------------------------------------------------
+# Deadline boundary (regression-pinned contract)
+# ----------------------------------------------------------------------
+class TestDeadlineBoundary:
+    def _rec(self, complete_time, deadline=1000.0):
+        return OpRecord(
+            index=0, kind="broadcast", root=0, admit_time=0.0,
+            deadline=deadline, complete_time=complete_time,
+        )
+
+    def test_completion_exactly_at_deadline_is_met(self):
+        assert self._rec(1000.0).met_deadline is True
+
+    def test_completion_after_deadline_is_missed(self):
+        assert self._rec(1000.0000001).met_deadline is False
+
+    def test_completion_before_deadline_is_met(self):
+        assert self._rec(999.9).met_deadline is True
+
+    def test_incomplete_op_is_missed(self):
+        assert self._rec(None).met_deadline is False
+
+    def test_no_deadline_means_met_iff_complete(self):
+        assert self._rec(123.0, deadline=None).met_deadline is True
+        assert self._rec(None, deadline=None).met_deadline is False
+
+
+# ----------------------------------------------------------------------
+# Exactly-once delivery under load
+# ----------------------------------------------------------------------
+class TestExactlyOnce:
+    @pytest.mark.parametrize("scheme", ["ni", "path", "tree", "binomial"])
+    def test_delivered_counts_per_scheme(self, scheme):
+        topo = _small_topo()
+        report = run_workload(
+            topo, SMALL, scheme, seed=17, rate=0.0008, duration=10_000,
+        )
+        n = SMALL.num_nodes
+        # The participant-notification count is the exactly-once audit
+        # surface: node_times is keyed by node, so a duplicate delivery
+        # could only ever *lose* a count, never gain one -- and a lost one
+        # fails here.
+        want = {"broadcast": n - 1, "allreduce": n - 1, "barrier": n}
+        completed = [r for r in report.records if r.complete]
+        assert completed, "expected completions at this light load"
+        if scheme != "binomial":
+            # Binomial's serial unicasts are slow enough that an op can
+            # outlive the drain window here; the fast schemes must not.
+            assert {r.kind for r in completed} == set(COLLECTIVE_KINDS)
+        for rec in completed:
+            assert rec.delivered == want[rec.kind], (scheme, rec)
+
+
+# ----------------------------------------------------------------------
+# Golden digest: direct, replayed, and through the process pool
+# ----------------------------------------------------------------------
+GOLDEN_KW = dict(
+    seed=2024, rate=0.0006, duration=12_000, warmup=1_200,
+    kinds=("broadcast", "allreduce"),
+)
+
+
+def _golden_run():
+    topo = generate_topology_family(GOLDEN_PARAMS, 1)[0]
+    return run_workload(topo, GOLDEN_PARAMS, "tree", **GOLDEN_KW)
+
+
+class TestGoldenDigest:
+    def test_matches_pinned_digest(self):
+        report = _golden_run()
+        assert report.completed > 0
+        assert report.digest() == GOLDEN_DIGEST
+
+    def test_replays_identically(self):
+        assert _golden_run().digest() == _golden_run().digest()
+
+    def test_cell_runner_agrees(self):
+        value = run_workload_cell(
+            GOLDEN_PARAMS, "tree", seed=GOLDEN_KW["seed"],
+            collective="broadcast+allreduce", rate=GOLDEN_KW["rate"],
+            duration=GOLDEN_KW["duration"], warmup=GOLDEN_KW["warmup"],
+            process="poisson", deadline_factor=4.0,
+        )
+        # run_workload_cell applies a deadline budget, which changes only
+        # the per-op verdicts -- with no misses at this light load the
+        # lifecycle digest must equal the budget-free golden run's.
+        assert value["miss_fraction"] == 0.0
+        assert value["digest"] == GOLDEN_DIGEST
+
+    def test_process_pool_is_byte_identical(self):
+        knobs = (
+            ("duration", float(GOLDEN_KW["duration"])),
+            ("warmup", float(GOLDEN_KW["warmup"])),
+            ("process", "poisson"),
+            ("deadline_factor", 4.0),
+            ("faults", 0),
+        )
+        cells = [
+            Cell(
+                kind="workload",
+                exp_id="wl-test",
+                params=GOLDEN_PARAMS,
+                scheme=scheme,
+                coords=(
+                    ("collective", "broadcast+allreduce"),
+                    ("rate", GOLDEN_KW["rate"]),
+                ),
+                knobs=knobs,
+                seed=GOLDEN_KW["seed"],
+            )
+            for scheme in ("tree", "ni")
+        ]
+        with execution_context(jobs=1):
+            serial = execute_cells(cells)
+        with execution_context(jobs=3):
+            parallel = execute_cells(cells)
+        assert json.dumps(serial) == json.dumps(parallel)
+        assert serial[0]["digest"] == GOLDEN_DIGEST
+
+
+# ----------------------------------------------------------------------
+# Degenerate single-participant collectives
+# ----------------------------------------------------------------------
+class TestDegenerateCollectives:
+    @pytest.mark.parametrize(
+        "launch",
+        [
+            lambda net, done: collectives.broadcast(
+                net, 2, "tree", done, participants=[2]
+            ),
+            lambda net, done: collectives.barrier(
+                net, 1, "tree", done, participants=[1]
+            ),
+            lambda net, done: collectives.allreduce(
+                net, 3, "tree", done, participants=[3]
+            ),
+            lambda net, done: collectives.reduce_to_root(
+                net, 0, done, participants=[0]
+            ),
+        ],
+        ids=["broadcast", "barrier", "allreduce", "reduce"],
+    )
+    def test_completes_at_launch_plus_one_host_block(self, launch):
+        net = SimNetwork(_small_topo(), SMALL)
+        seen = []
+        result = launch(net, seen.append)
+        net.run()
+        net.assert_quiescent()
+        assert result.complete, "degenerate collective must never hang"
+        assert result.latency == SMALL.o_host
+        assert result.node_times == {result.root: float(SMALL.o_host)}
+        assert seen == [result]
+
+
+# ----------------------------------------------------------------------
+# Zero-length measurement windows
+# ----------------------------------------------------------------------
+class TestZeroWindow:
+    def test_load_point_zero_window_reports_zero_throughput(self):
+        point = LoadPoint(
+            effective_load=0.1, degree=4, mean_latency=None,
+            p95_latency=None, issued=0, completed=0, saturated=False,
+            warmup_ops=9, measured_window=0.0,
+        )
+        assert point.throughput == 0.0
+
+    def test_workload_report_zero_window(self):
+        report = WorkloadReport(
+            scheme="tree", kinds=("broadcast",), process="poisson",
+            rate=0.001, duration=100.0, warmup=100.0, deadline_factor=4.0,
+            baselines={"broadcast": 1.0}, schedule_sha="0" * 64,
+        )
+        assert report.measured_window == 0.0
+        assert report.throughput == 0.0
+        assert report.miss_fraction == 0.0
+        assert report.saturated is False
+
+    def test_run_workload_rejects_warmup_eating_the_window(self):
+        with pytest.raises(ValueError):
+            run_workload(
+                _small_topo(), SMALL, "tree", seed=1, rate=0.001,
+                duration=1_000, warmup=1_000,
+            )
+
+
+# ----------------------------------------------------------------------
+# Committed quick-profile result: shape and the paper's ordering
+# ----------------------------------------------------------------------
+class TestCommittedResult:
+    @pytest.fixture(scope="class")
+    def result(self):
+        import pathlib
+
+        path = pathlib.Path(__file__).parent.parent / \
+            "results" / "collective-load.json"
+        return json.loads(path.read_text())
+
+    def test_every_cell_reports_p999_and_saturation_point(self, result):
+        assert len(result["series"]) == 18
+        for series in result["series"]:
+            meta = series["meta"]
+            assert "saturation_point" in meta
+            for point in meta["points"]:
+                assert "p999" in point["latency"]
+                assert point["saturated"] in (True, False)
+                if not point["saturated"]:
+                    assert point["latency"]["p999"] is not None
+
+    def test_tree_strictly_best_at_low_load(self, result):
+        # The paper's switch-support headline, carried to collectives
+        # under load: at the lowest offered rate the tree scheme's p99 is
+        # strictly below ni's and path's on every axis.  (The full
+        # tree < ni < path ordering belongs to the paper's degree-4/16
+        # multicast grids; whole-machine collectives swap ni and path.)
+        by_label = {s["label"]: s for s in result["series"]}
+        suffixes = sorted(
+            {s["label"].split(" ", 1)[1] for s in result["series"]}
+        )
+        assert len(suffixes) == 6
+        for suffix in suffixes:
+            p99 = {
+                scheme: by_label[f"{scheme} {suffix}"]["meta"]["points"][0]
+                ["latency"]["p99"]
+                for scheme in ("ni", "path", "tree")
+            }
+            assert p99["tree"] < p99["ni"], (suffix, p99)
+            assert p99["tree"] < p99["path"], (suffix, p99)
+
+    def test_admissions_paired_across_schemes(self, result):
+        # Scheme-independent seeds: every scheme of a grid point was
+        # offered the identical schedule.
+        by_label = {s["label"]: s for s in result["series"]}
+        for suffix in {s["label"].split(" ", 1)[1]
+                       for s in result["series"]}:
+            counts = {
+                tuple(p["admitted"] for p in
+                      by_label[f"{scheme} {suffix}"]["meta"]["points"])
+                for scheme in ("ni", "path", "tree")
+            }
+            assert len(counts) == 1, suffix
